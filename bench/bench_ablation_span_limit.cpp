@@ -1,0 +1,69 @@
+// Ablation C — the antichain span limit (§5.1, Theorem 1): its effect on
+//   (a) enumeration work (antichain count, wall time),
+//   (b) selection quality (schedule cycles with the selected patterns).
+// This is the experiment behind the library default span_limit = 1; with
+// that value the 3DFT column of the paper's Table 7 reproduces exactly.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "antichain/enumerate.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/paper_graphs.hpp"
+
+using namespace mpsched;
+
+int main() {
+  bench::banner("Ablation C — span limit: enumeration cost vs selection quality",
+                "cycles for Pdef=1..5 plus antichain counts, per span limit");
+
+  struct Workload {
+    const char* name;
+    Dfg dfg;
+  };
+  std::vector<Workload> cases;
+  cases.push_back({"3DFT", workloads::paper_3dft()});
+  cases.push_back({"5DFT", workloads::winograd_dft5()});
+  cases.push_back({"FFT8", workloads::radix2_fft(8)});
+
+  for (const auto& w : cases) {
+    std::printf("\n--- %s (%zu nodes) ---\n", w.name, w.dfg.node_count());
+    TextTable t({"span limit", "antichains", "enum ms", "Pdef=1", "Pdef=2", "Pdef=3",
+                 "Pdef=4", "Pdef=5"});
+    for (int limit = -1; limit <= 3; ++limit) {
+      // Unlimited span on graphs beyond ~50 nodes enumerates billions of
+      // antichains — exactly the blow-up §5.1 introduces the limit for.
+      if (limit < 0 && w.dfg.node_count() > 50) continue;
+      EnumerateOptions eo;
+      eo.max_size = 5;
+      if (limit >= 0) eo.span_limit = limit;
+      Timer timer;
+      const AntichainAnalysis analysis = enumerate_antichains(w.dfg, eo);
+      const double enum_ms = timer.millis();
+
+      std::vector<std::string> row{limit < 0 ? "unlimited" : std::to_string(limit),
+                                   std::to_string(analysis.total)};
+      char ms[16];
+      std::snprintf(ms, sizeof ms, "%.1f", enum_ms);
+      row.emplace_back(ms);
+      for (std::size_t pdef = 1; pdef <= 5; ++pdef) {
+        SelectOptions so;
+        so.pattern_count = pdef;
+        so.capacity = 5;
+        so.span_limit = limit < 0 ? std::nullopt : std::optional<int>(limit);
+        const SelectionResult sel = select_patterns(w.dfg, analysis, so);
+        const MpScheduleResult r = multi_pattern_schedule(w.dfg, sel.patterns);
+        row.push_back(r.success ? std::to_string(r.cycles) : "fail");
+      }
+      t.add_row(std::move(row));
+    }
+    std::fputs(t.to_string().c_str(), stdout);
+  }
+  std::printf("\nReading: tight limits shrink the candidate pool dramatically (Theorem 1\n"
+              "justifies discarding high-span antichains) and limit 1 is the sweet spot\n"
+              "on these workloads — the library default.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Ablation F — tie-breaking sensitivity of the multi-pattern scheduler.
+// Equation 4 leaves genuine ties (equal-height sinks, symmetric halves of
+// butterfly graphs); this quantifies how much the tie-break policy moves
+// the result, and why the paper's own Table 2 required the FIFO order.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "util/table.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+
+using namespace mpsched;
+
+int main() {
+  bench::banner("Ablation F — node tie-break policy (stable/asc/desc/random)",
+                "cycles with Pdef=4 selected patterns; random = min..max over 20 seeds");
+
+  struct Workload {
+    const char* name;
+    Dfg dfg;
+  };
+  std::vector<Workload> cases;
+  cases.push_back({"3DFT", workloads::paper_3dft()});
+  cases.push_back({"5DFT", workloads::winograd_dft5()});
+  cases.push_back({"FFT8", workloads::radix2_fft(8)});
+  cases.push_back({"DCT8", workloads::dct8()});
+  cases.push_back({"matmul3", workloads::matmul(3)});
+
+  TextTable t({"workload", "stable (paper)", "id asc", "id desc", "random min..max"});
+  for (const auto& w : cases) {
+    SelectOptions so;
+    so.pattern_count = 4;
+    so.capacity = 5;
+    const SelectionResult sel = select_patterns(w.dfg, so);
+
+    auto run = [&](TieBreak tb, std::uint64_t seed) {
+      MpScheduleOptions o;
+      o.tie_break = tb;
+      o.seed = seed;
+      const MpScheduleResult r = multi_pattern_schedule(w.dfg, sel.patterns, o);
+      return r.success ? r.cycles : 0;
+    };
+
+    std::size_t rnd_min = SIZE_MAX, rnd_max = 0;
+    for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+      const std::size_t c = run(TieBreak::Random, seed);
+      rnd_min = std::min(rnd_min, c);
+      rnd_max = std::max(rnd_max, c);
+    }
+    t.add(w.name, run(TieBreak::Stable, 0), run(TieBreak::NodeIdAsc, 0),
+          run(TieBreak::NodeIdDesc, 0),
+          std::to_string(rnd_min) + ".." + std::to_string(rnd_max));
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nReading: the policy shifts results by at most a cycle or two — the\n"
+              "heuristic is robust — but exact trace reproduction (Table 2) needs the\n"
+              "paper's FIFO (stable) order.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Ablation G — the optional compiler phases (Transformation: CSE +
+// reduction rebalancing; Clustering: MAC fusion) and their effect on
+// operation counts, schedule length and tile energy.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "compiler/pipeline.hpp"
+#include "util/table.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace mpsched;
+
+namespace {
+
+Dfg long_dot_product(std::size_t terms) {
+  // A deliberately naive (chain-form) dot product: what a frontend without
+  // reassociation would emit. terms muls + a (terms-1)-link addition chain.
+  Dfg g("naive-dot" + std::to_string(terms));
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  std::vector<NodeId> products;
+  for (std::size_t i = 0; i < terms; ++i) products.push_back(g.add_node(c));
+  NodeId acc = g.add_node(a);
+  g.add_edge(products[0], acc);
+  g.add_edge(products[1], acc);
+  for (std::size_t i = 2; i < terms; ++i) {
+    const NodeId next = g.add_node(a);
+    g.add_edge(acc, next);
+    g.add_edge(products[i], next);
+    acc = next;
+  }
+  return g;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Ablation G — optional compiler phases (transform / cluster)",
+                "Pdef=3, 5-ALU tile; ops = executed operations, E = energy model");
+
+  struct Workload {
+    const char* name;
+    Dfg dfg;
+  };
+  std::vector<Workload> cases;
+  cases.push_back({"naive-dot16", long_dot_product(16)});
+  cases.push_back({"naive-dot32", long_dot_product(32)});
+  cases.push_back({"FIR16", workloads::fir_filter(16)});
+  cases.push_back({"5DFT", workloads::winograd_dft5()});
+  cases.push_back({"matmul3", workloads::matmul(3)});
+
+  TextTable t({"workload", "phases", "ops", "cycles", "reconfigs", "energy"});
+  for (const auto& w : cases) {
+    struct Mode {
+      const char* label;
+      bool transform, cluster;
+    };
+    for (const Mode mode : {Mode{"none", false, false}, Mode{"transform", true, false},
+                            Mode{"cluster", false, true}, Mode{"both", true, true}}) {
+      CompileOptions options;
+      options.pattern_count = 3;
+      options.run_transformations = mode.transform;
+      options.run_clustering = mode.cluster;
+      const CompileReport r = compile(w.dfg, options);
+      if (!r.success) {
+        std::printf("%s/%s failed: %s\n", w.name, mode.label, r.error.c_str());
+        return 1;
+      }
+      t.add(w.name, mode.label, r.execution.operations, r.schedule.cycles,
+            r.execution.reconfigurations, r.execution.energy);
+    }
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("\nReading: rebalancing turns O(n) addition chains into O(log n) trees —\n"
+              "the dominant win on naive frontend output; MAC fusion removes executed\n"
+              "operations (energy) and can shorten schedules when the multiplier\n"
+              "pressure, not the adder pressure, binds.\n");
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Ablation D — baseline comparison: the multi-pattern approach (selected
+// patterns, Pdef = 4) against
+//   * classic list scheduling with unlimited patterns (capacity C only),
+//   * force-directed scheduling (Paulin-Knight) with capacity C,
+//   * the exact A* optimum for the *same selected pattern set* (small
+//     graphs only),
+// reporting cycles and the configuration-store cost (distinct patterns) —
+// the resource the Montium's 32-entry store makes scarce.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list_schedule.hpp"
+#include "sched/optimal.hpp"
+#include "util/table.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+
+using namespace mpsched;
+
+int main() {
+  bench::banner("Ablation D — multi-pattern vs baselines",
+                "cycles / distinct patterns; baselines ignore the pattern-count limit");
+
+  struct Workload {
+    const char* name;
+    Dfg dfg;
+    bool run_optimal;
+  };
+  // run_optimal only where the exact A* proves within a small state budget
+  // (wide graphs explode combinatorially — that is the point of heuristics).
+  std::vector<Workload> cases;
+  cases.push_back({"3DFT", workloads::paper_3dft(), true});
+  cases.push_back({"w3DFT", workloads::winograd_dft3(), true});
+  cases.push_back({"5DFT", workloads::winograd_dft5(), false});
+  cases.push_back({"FFT8", workloads::radix2_fft(8), false});
+  cases.push_back({"DCT8", workloads::dct8(), false});
+  cases.push_back({"FIR16", workloads::fir_filter(16), false});
+  cases.push_back({"FFT16", workloads::radix2_fft(16), false});
+  cases.push_back({"matmul4", workloads::matmul(4), false});
+
+  TextTable t({"workload", "nodes", "mp cycles", "mp patterns", "list cycles",
+               "list patterns", "fds cycles", "fds patterns", "optimal(mp set)"});
+  for (const auto& w : cases) {
+    SelectOptions so;
+    so.pattern_count = 4;
+    so.capacity = 5;
+    // Wide graphs (FFT16, matmul4) use the analytic generator; the paper's
+    // enumerative generator would take minutes there (see Ablation C).
+    if (w.dfg.node_count() > 64) so.generation = PatternGeneration::LevelAnalytic;
+    const SelectionResult sel = select_patterns(w.dfg, so);
+    const MpScheduleResult mp = multi_pattern_schedule(w.dfg, sel.patterns);
+    const ListScheduleResult list = list_schedule(w.dfg, {.capacity = 5});
+    const FdsResult fds = force_directed_capacity_schedule(w.dfg, {.capacity = 5});
+
+    std::string optimal = "-";
+    if (w.run_optimal && w.dfg.node_count() <= 64) {
+      OptimalOptions oo;
+      oo.max_states = 200'000;
+      const OptimalResult opt = optimal_schedule_length(w.dfg, sel.patterns, oo);
+      optimal = opt.proven ? std::to_string(opt.cycles) : "(budget)";
+    }
+
+    t.add(w.name, w.dfg.node_count(), mp.success ? mp.cycles : 0, sel.patterns.size(),
+          list.cycles, list.induced.size(), fds.success ? fds.cycles : 0,
+          fds.induced.size(), optimal);
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf(
+      "\nReading: unlimited-pattern baselines win a cycle or two but burn many\n"
+      "configuration-store entries; the multi-pattern scheduler holds Pdef=4 entries\n"
+      "while staying close to the exact optimum for its own pattern set.\n");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// Shared helpers for the experiment harnesses: uniform headers and the
+// paper-vs-measured match column.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace mpsched::bench {
+
+inline void banner(const std::string& experiment, const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// "exact" when equal, "+d"/"-d" deltas otherwise.
+inline std::string match(long long paper, long long measured) {
+  if (paper == measured) return "exact";
+  const long long d = measured - paper;
+  return (d > 0 ? "+" : "") + std::to_string(d);
+}
+
+inline std::string match(double paper, double measured, double tol = 1e-9) {
+  if (paper - measured <= tol && measured - paper <= tol) return "exact";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%+.1f", measured - paper);
+  return buf;
+}
+
+}  // namespace mpsched::bench

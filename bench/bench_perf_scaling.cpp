@@ -1,0 +1,124 @@
+// Performance scaling (google-benchmark): the computational kernels —
+// antichain enumeration (sequential vs shared-pool parallel), transitive
+// closure, pattern selection end-to-end, and the multi-pattern scheduler —
+// across graph sizes.
+#include <benchmark/benchmark.h>
+
+#include "antichain/analytic.hpp"
+#include "antichain/enumerate.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "graph/closure.hpp"
+#include "pattern/random.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace {
+
+using namespace mpsched;
+
+Dfg sized_dag(std::int64_t nodes_hint) {
+  workloads::LayeredDagOptions options;
+  options.layers = static_cast<std::size_t>(std::max<std::int64_t>(3, nodes_hint / 8));
+  options.min_width = 6;
+  options.max_width = 10;
+  options.edge_probability = 0.3;
+  return workloads::random_layered_dag(12345, options);
+}
+
+void BM_TransitiveClosure(benchmark::State& state) {
+  const Dfg g = sized_dag(state.range(0));
+  for (auto _ : state) {
+    Reachability reach(g);
+    benchmark::DoNotOptimize(reach.comparable_pair_count());
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " nodes");
+}
+BENCHMARK(BM_TransitiveClosure)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_AntichainEnumeration(benchmark::State& state) {
+  const Dfg g = sized_dag(state.range(0));
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+  EnumerateOptions options;
+  options.max_size = 5;
+  options.span_limit = 1;  // library default
+  options.parallel = state.range(1) != 0;
+  std::uint64_t total = 0;
+  for (auto _ : state) {
+    const AntichainAnalysis analysis = enumerate_antichains(g, lv, reach, options);
+    total = analysis.total;
+    benchmark::DoNotOptimize(analysis.per_pattern.size());
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " nodes, " + std::to_string(total) +
+                 " antichains, " + (options.parallel ? "parallel" : "serial"));
+  state.SetItemsProcessed(static_cast<std::int64_t>(total) *
+                          static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AntichainEnumeration)
+    ->Args({64, 0})
+    ->Args({64, 1})
+    ->Args({128, 0})
+    ->Args({128, 1})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_PatternSelection(benchmark::State& state) {
+  const Dfg g = sized_dag(state.range(0));
+  SelectOptions options;
+  options.pattern_count = 4;
+  options.capacity = 5;
+  for (auto _ : state) {
+    const SelectionResult sel = select_patterns(g, options);
+    benchmark::DoNotOptimize(sel.patterns.size());
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " nodes");
+  state.SetComplexityN(static_cast<std::int64_t>(g.node_count()));
+}
+BENCHMARK(BM_PatternSelection)->Arg(48)->Arg(96)->Arg(192)->Unit(benchmark::kMillisecond);
+
+void BM_MultiPatternSchedule(benchmark::State& state) {
+  const Dfg g = sized_dag(state.range(0));
+  SelectOptions so;
+  so.pattern_count = 4;
+  so.capacity = 5;
+  const SelectionResult sel = select_patterns(g, so);
+  for (auto _ : state) {
+    const MpScheduleResult r = multi_pattern_schedule(g, sel.patterns);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetLabel(std::to_string(g.node_count()) + " nodes");
+}
+BENCHMARK(BM_MultiPatternSchedule)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_AnalyticGeneration(benchmark::State& state) {
+  const Dfg g = workloads::radix2_fft(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const AntichainAnalysis analysis = analytic_level_analysis(g, 5);
+    benchmark::DoNotOptimize(analysis.per_pattern.size());
+  }
+  state.SetLabel("fft" + std::to_string(state.range(0)) + ": " +
+                 std::to_string(g.node_count()) + " nodes");
+}
+BENCHMARK(BM_AnalyticGeneration)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_ScheduleFft(benchmark::State& state) {
+  const Dfg g = workloads::radix2_fft(static_cast<std::size_t>(state.range(0)));
+  SelectOptions so;
+  so.pattern_count = 4;
+  so.capacity = 5;
+  // Enumerative generation is intractable on wide FFTs; scheduler scaling
+  // is what this benchmark measures, so use the analytic generator.
+  so.generation = PatternGeneration::LevelAnalytic;
+  const SelectionResult sel = select_patterns(g, so);
+  for (auto _ : state) {
+    const MpScheduleResult r = multi_pattern_schedule(g, sel.patterns);
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.SetLabel("fft" + std::to_string(state.range(0)) + ": " +
+                 std::to_string(g.node_count()) + " nodes");
+}
+BENCHMARK(BM_ScheduleFft)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

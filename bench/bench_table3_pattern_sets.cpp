@@ -1,0 +1,56 @@
+// Reproduces paper Table 3: multi-pattern scheduling of the 3DFT with the
+// three published 4-pattern sets. The paper reports 8 / 9 / 7 cycles; the
+// exact values depend on the unpublished details of the authors' graph and
+// tie-breaking, so the shape to check is the ordering (set 3 best, set 2
+// worst) and the magnitude (7-9 cycles).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mp_schedule.hpp"
+#include "pattern/parse.hpp"
+#include "util/table.hpp"
+#include "workloads/paper_graphs.hpp"
+
+using namespace mpsched;
+
+int main() {
+  bench::banner("Table 3 — cycle counts for three fixed 4-pattern sets (3DFT)",
+                "the experiment that motivates pattern *selection*");
+
+  const Dfg dfg = workloads::paper_3dft();
+  struct Case {
+    const char* text;
+    std::size_t paper_cycles;
+  };
+  const Case cases[] = {
+      {"{a,b,c,b,c} {b,b,b,a,b} {b,b,b,c,b} {b,a,b,a,a}", 8},
+      {"{a,b,c,b,c} {b,c,b,c,a} {c,b,a,b,a} {b,b,c,c,b}", 9},
+      {"{a,b,c,c,c} {a,a,b,a,c} {c,c,c,a,a} {a,b,a,b,b}", 7},
+  };
+
+  TextTable t({"patterns", "paper", "ours", "match"});
+  std::vector<std::size_t> ours;
+  for (const Case& c : cases) {
+    const PatternSet set = parse_pattern_set(dfg, c.text);
+    const MpScheduleResult r = multi_pattern_schedule(dfg, set);
+    if (!r.success) {
+      std::printf("FAILED: %s\n", r.error.c_str());
+      return 1;
+    }
+    ours.push_back(r.cycles);
+    t.add(set.to_string(dfg), c.paper_cycles, r.cycles,
+          bench::match(static_cast<long long>(c.paper_cycles),
+                       static_cast<long long>(r.cycles)));
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  const bool shape = ours[2] <= ours[0] && ours[0] <= ours[1];
+  std::printf(
+      "\nShape check (set3 <= set1 <= set2, mirroring the paper's 7 <= 8 <= 9): %s\n",
+      shape ? "holds" : "VIOLATED");
+  std::printf("Paper's conclusion — pattern choice strongly influences the result: spread "
+              "%zu..%zu cycles\n",
+              *std::min_element(ours.begin(), ours.end()),
+              *std::max_element(ours.begin(), ours.end()));
+  return shape ? 0 : 1;
+}

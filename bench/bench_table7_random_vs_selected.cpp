@@ -1,0 +1,111 @@
+// Reproduces paper Table 7 — the headline experiment: schedule length with
+// randomly generated patterns (average of 10 draws) vs. patterns chosen by
+// the selection algorithm, for Pdef = 1..5, on the 3DFT and 5DFT.
+//
+// Caveats recorded in EXPERIMENTS.md:
+//  * 3DFT uses the exact reconstruction; with the span-1 selection default
+//    the Selected column reproduces the paper exactly (8/7/7/7/6).
+//  * The paper never specifies its 5DFT graph; ours is the Winograd
+//    5-point DFT (44 nodes), so that column is shape-comparable only.
+//  * Random columns depend on the authors' RNG; ours is seeded xoshiro
+//    with color-coverage rejection (the paper's finite Pdef=1 averages
+//    imply they also enforced coverage).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "pattern/random.hpp"
+#include "util/table.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/paper_graphs.hpp"
+
+using namespace mpsched;
+
+namespace {
+
+double random_average(const Dfg& dfg, std::size_t pdef, int trials, std::uint64_t seed) {
+  Rng rng(seed);
+  double total = 0;
+  for (int t = 0; t < trials; ++t) {
+    RandomPatternOptions rpo;
+    rpo.capacity = 5;
+    rpo.count = pdef;
+    const PatternSet set = random_pattern_set(dfg, rng, rpo);
+    const MpScheduleResult r = multi_pattern_schedule(dfg, set);
+    if (!r.success) {
+      std::printf("random scheduling failed: %s\n", r.error.c_str());
+      std::exit(1);
+    }
+    total += static_cast<double>(r.cycles);
+  }
+  return total / trials;
+}
+
+std::size_t selected_cycles(const Dfg& dfg, std::size_t pdef, std::string* patterns_out) {
+  SelectOptions so;
+  so.pattern_count = pdef;
+  so.capacity = 5;  // span_limit uses the library default (1)
+  const SelectionResult sel = select_patterns(dfg, so);
+  const MpScheduleResult r = multi_pattern_schedule(dfg, sel.patterns);
+  if (!r.success) {
+    std::printf("selected scheduling failed: %s\n", r.error.c_str());
+    std::exit(1);
+  }
+  *patterns_out = sel.patterns.to_string(dfg);
+  return r.cycles;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 7 — random vs. selected patterns (3DFT and 5DFT)",
+                "clock cycles; Random = mean of 10 seeded draws, ε=0.5, α=20");
+
+  const double paper_random_3dft[] = {12.4, 10.5, 8.7, 7.9, 6.5};
+  const std::size_t paper_selected_3dft[] = {8, 7, 7, 7, 6};
+  const double paper_random_5dft[] = {23.4, 22, 20.4, 15.8, 15.8};
+  const std::size_t paper_selected_5dft[] = {19, 16, 16, 15, 15};
+
+  const Dfg dft3 = workloads::paper_3dft();
+  const Dfg dft5 = workloads::winograd_dft5();
+
+  TextTable t({"Pdef", "3DFT rnd (paper/ours)", "3DFT sel (paper/ours)", "match",
+               "5DFT rnd (paper/ours)", "5DFT sel (paper/ours)"});
+  int exact_selected_3dft = 0;
+  bool monotone_ok = true;
+  std::size_t prev3 = SIZE_MAX, prev5 = SIZE_MAX;
+
+  for (std::size_t pdef = 1; pdef <= 5; ++pdef) {
+    const double rnd3 = random_average(dft3, pdef, 10, 1000 + pdef);
+    const double rnd5 = random_average(dft5, pdef, 10, 2000 + pdef);
+    std::string sel3_patterns, sel5_patterns;
+    const std::size_t sel3 = selected_cycles(dft3, pdef, &sel3_patterns);
+    const std::size_t sel5 = selected_cycles(dft5, pdef, &sel5_patterns);
+
+    if (sel3 == paper_selected_3dft[pdef - 1]) ++exact_selected_3dft;
+    monotone_ok = monotone_ok && sel3 <= prev3 && sel5 <= prev5 &&
+                  static_cast<double>(sel3) <= rnd3 && static_cast<double>(sel5) <= rnd5;
+    prev3 = sel3;
+    prev5 = sel5;
+
+    char rnd3_cell[48], rnd5_cell[48];
+    std::snprintf(rnd3_cell, sizeof rnd3_cell, "%.1f/%.1f", paper_random_3dft[pdef - 1], rnd3);
+    std::snprintf(rnd5_cell, sizeof rnd5_cell, "%.1f/%.1f", paper_random_5dft[pdef - 1], rnd5);
+    t.add(pdef, rnd3_cell,
+          std::to_string(paper_selected_3dft[pdef - 1]) + "/" + std::to_string(sel3),
+          bench::match(static_cast<long long>(paper_selected_3dft[pdef - 1]),
+                       static_cast<long long>(sel3)),
+          rnd5_cell,
+          std::to_string(paper_selected_5dft[pdef - 1]) + "/" + std::to_string(sel5));
+  }
+  std::fputs(t.to_string().c_str(), stdout);
+
+  std::printf("\n3DFT Selected column: %d/5 cells exact%s\n", exact_selected_3dft,
+              exact_selected_3dft == 5 ? " — reproduced exactly" : "");
+  std::printf("Shape checks (Selected <= Random, monotone non-increasing in Pdef): %s\n",
+              monotone_ok ? "hold for both workloads" : "VIOLATED");
+  std::printf("Note: the 5DFT columns are shape-comparable only — the paper never "
+              "specifies its 5DFT graph (ours: Winograd, 44 nodes).\n");
+  return monotone_ok && exact_selected_3dft == 5 ? 0 : 1;
+}

@@ -1,0 +1,62 @@
+// FFT pipeline study — the workload family the Montium was designed for.
+//
+// For FFT sizes 4..64, compares three operating points on a 5-ALU tile:
+//   * selected patterns with Pdef = 2, 4, 8 (the paper's approach),
+//   * classic list scheduling with unlimited patterns (configuration-store
+//     hungry),
+// and reports cycles, config-store entries and the tile energy model's
+// verdict — showing the cycles-vs-reconfiguration tradeoff that motivates
+// multi-pattern scheduling.
+#include <cstdio>
+
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "montium/execute.hpp"
+#include "sched/list_schedule.hpp"
+#include "util/table.hpp"
+#include "workloads/dft.hpp"
+
+using namespace mpsched;
+
+int main() {
+  const TileConfig tile;  // 5 ALUs, 32-entry configuration store
+  TextTable table({"FFT", "nodes", "mode", "cycles", "store entries", "reconfigs",
+                   "energy"});
+
+  for (const std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    const Dfg dfg = workloads::radix2_fft(n);
+
+    for (const std::size_t pdef : {2u, 4u, 8u}) {
+      SelectOptions so;
+      so.pattern_count = pdef;
+      so.capacity = tile.alu_count;
+      // Beyond ~64 nodes the FFT's wide levels defeat enumerative pattern
+      // generation; switch to the scalable analytic generator.
+      if (dfg.node_count() > 64) so.generation = PatternGeneration::LevelAnalytic;
+      const SelectionResult sel = select_patterns(dfg, so);
+      const MpScheduleResult r = multi_pattern_schedule(dfg, sel.patterns);
+      if (!r.success) {
+        std::printf("fft%zu Pdef=%zu failed: %s\n", n, pdef, r.error.c_str());
+        return 1;
+      }
+      const ExecutionStats stats = run_schedule(dfg, r.schedule, tile, &sel.patterns);
+      table.add("fft" + std::to_string(n), dfg.node_count(),
+                "Pdef=" + std::to_string(pdef), r.cycles, stats.distinct_patterns,
+                stats.reconfigurations, stats.energy);
+    }
+
+    const ListScheduleResult list = list_schedule(dfg, {.capacity = tile.alu_count});
+    const ExecutionStats stats = run_schedule(dfg, list.schedule, tile);
+    const bool store_ok = list.induced.size() <= tile.config_store_entries;
+    table.add("fft" + std::to_string(n), dfg.node_count(), "unlimited", list.cycles,
+              std::to_string(list.induced.size()) + (store_ok ? "" : " (!)"),
+              stats.ok ? stats.reconfigurations : 0,
+              stats.ok ? stats.energy : -1.0);
+  }
+
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(!) = exceeds the Montium's 32-entry configuration store.\n"
+              "Multi-pattern scheduling trades a few cycles for a store footprint\n"
+              "that actually fits the hardware, and fewer ALU reconfigurations.\n");
+  return 0;
+}

@@ -1,0 +1,198 @@
+#include "antichain/enumerate.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <unordered_map>
+
+#include "antichain/span.hpp"
+#include "util/require.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mpsched {
+
+namespace {
+
+/// Per-thread accumulator; merged deterministically after the fan-out.
+struct Accumulator {
+  struct Entry {
+    std::uint64_t count = 0;
+    std::vector<std::uint64_t> node_frequency;
+    std::vector<std::vector<NodeId>> members;
+  };
+  std::unordered_map<Pattern, Entry, PatternHash> per_pattern;
+  std::vector<std::vector<std::uint64_t>> by_size_span;  // [size][span]
+  std::uint64_t total = 0;
+
+  Accumulator(std::size_t max_size, std::size_t max_span) {
+    by_size_span.assign(max_size + 1, std::vector<std::uint64_t>(max_span + 1, 0));
+  }
+};
+
+struct SearchContext {
+  const Dfg& dfg;
+  const Levels& levels;
+  const Reachability& reach;
+  const EnumerateOptions& options;
+  int effective_span_limit;
+  std::atomic<std::uint64_t>* global_count;
+};
+
+/// Records the current antichain `stack` into `acc`.
+void record(const SearchContext& ctx, Accumulator& acc, const std::vector<NodeId>& stack,
+            int span) {
+  acc.total += 1;
+  acc.by_size_span[stack.size()][static_cast<std::size_t>(span)] += 1;
+
+  std::vector<ColorId> colors;
+  colors.reserve(stack.size());
+  for (const NodeId n : stack) colors.push_back(ctx.dfg.color(n));
+  Pattern pattern(std::move(colors));
+
+  auto& entry = acc.per_pattern[pattern];
+  if (entry.node_frequency.empty()) entry.node_frequency.assign(ctx.dfg.node_count(), 0);
+  entry.count += 1;
+  for (const NodeId n : stack) entry.node_frequency[n] += 1;
+  if (ctx.options.collect_members) entry.members.push_back(stack);
+
+  const std::uint64_t seen = ctx.global_count->fetch_add(1, std::memory_order_relaxed) + 1;
+  MPSCHED_CHECK(seen <= ctx.options.max_antichains,
+                "antichain enumeration exceeded the max_antichains safety limit (" +
+                    std::to_string(ctx.options.max_antichains) + ")");
+}
+
+/// Depth-first extension. `compat` is the AND of parallel masks of all
+/// members; only ids greater than the last member are probed, so each
+/// antichain is produced exactly once (as its sorted id sequence).
+void extend(const SearchContext& ctx, Accumulator& acc, std::vector<NodeId>& stack,
+            const DynamicBitset& compat, SpanTracker tracker) {
+  if (stack.size() >= ctx.options.max_size) return;
+  const std::size_t n = ctx.dfg.node_count();
+  for (std::size_t j = compat.find_next(stack.back() + 1); j < n; j = compat.find_next(j + 1)) {
+    const auto node = static_cast<NodeId>(j);
+    const int new_span = tracker.span_with(node, ctx.levels);
+    if (new_span > ctx.effective_span_limit) continue;  // span is monotone: subtree pruned
+    stack.push_back(node);
+    record(ctx, acc, stack, new_span);
+    DynamicBitset next_compat = compat;
+    next_compat &= ctx.reach.parallel_mask(node);
+    extend(ctx, acc, stack, next_compat, tracker.with(node, ctx.levels));
+    stack.pop_back();
+  }
+}
+
+/// Enumerates every antichain whose minimum node id is `root`.
+void enumerate_from_root(const SearchContext& ctx, Accumulator& acc, NodeId root) {
+  std::vector<NodeId> stack{root};
+  SpanTracker tracker;
+  tracker = tracker.with(root, ctx.levels);
+  // Size-1 antichains always have span U(asap - alap) = 0 (asap ≤ alap).
+  record(ctx, acc, stack, 0);
+  extend(ctx, acc, stack, ctx.reach.parallel_mask(root), tracker);
+}
+
+}  // namespace
+
+std::uint64_t AntichainAnalysis::count_with_span_at_most(std::size_t size, int limit) const {
+  if (size >= count_by_size_span.size()) return 0;
+  std::uint64_t total_count = 0;
+  const auto& row = count_by_size_span[size];
+  for (std::size_t k = 0; k < row.size(); ++k)
+    if (static_cast<int>(k) <= limit) total_count += row[k];
+  return total_count;
+}
+
+const PatternAntichains* AntichainAnalysis::find(const Pattern& p) const {
+  for (const auto& entry : per_pattern)
+    if (entry.pattern == p) return &entry;
+  return nullptr;
+}
+
+AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
+                                       const Reachability& reach,
+                                       const EnumerateOptions& options) {
+  MPSCHED_REQUIRE(options.max_size >= 1, "max_size must be at least 1");
+  MPSCHED_REQUIRE(levels.asap.size() == dfg.node_count(),
+                  "levels do not belong to this graph");
+  MPSCHED_REQUIRE(reach.node_count() == dfg.node_count(),
+                  "reachability does not belong to this graph");
+
+  const int span_cap = levels.asap_max;  // spans can never exceed ASAPmax
+  const int effective_limit =
+      options.span_limit.has_value() ? std::min(*options.span_limit, span_cap) : span_cap;
+  MPSCHED_REQUIRE(!options.span_limit || *options.span_limit >= 0,
+                  "span limit must be non-negative");
+
+  std::atomic<std::uint64_t> global_count{0};
+  SearchContext ctx{dfg, levels, reach, options, effective_limit, &global_count};
+
+  const std::size_t n = dfg.node_count();
+  const auto span_hist_size = static_cast<std::size_t>(span_cap);
+
+  std::vector<Accumulator> accumulators;
+  if (options.parallel && n >= 2) {
+    ThreadPool& pool = ThreadPool::shared();
+    const std::size_t n_workers = pool.thread_count() + 1;  // pool + caller
+    accumulators.assign(n_workers, Accumulator(options.max_size, span_hist_size));
+    // Cyclic root assignment: worker w handles roots w, w+W, w+2W, ... so
+    // the expensive low-id roots (largest subtrees) spread across workers.
+    pool.parallel_for(n_workers, [&](std::size_t w) {
+      for (NodeId root = static_cast<NodeId>(w); root < n;
+           root = static_cast<NodeId>(root + n_workers))
+        enumerate_from_root(ctx, accumulators[w], root);
+    });
+  } else {
+    accumulators.assign(1, Accumulator(options.max_size, span_hist_size));
+    for (NodeId root = 0; root < n; ++root) enumerate_from_root(ctx, accumulators[0], root);
+  }
+
+  // Deterministic merge: ordered map keyed by canonical pattern ordering.
+  std::map<Pattern, Accumulator::Entry> merged;
+  AntichainAnalysis out;
+  out.count_by_size_span.assign(options.max_size + 1,
+                                std::vector<std::uint64_t>(span_hist_size + 1, 0));
+  for (Accumulator& acc : accumulators) {
+    out.total += acc.total;
+    for (std::size_t s = 0; s < acc.by_size_span.size(); ++s)
+      for (std::size_t k = 0; k < acc.by_size_span[s].size(); ++k)
+        out.count_by_size_span[s][k] += acc.by_size_span[s][k];
+    for (auto& [pattern, entry] : acc.per_pattern) {
+      auto& dst = merged[pattern];
+      dst.count += entry.count;
+      if (dst.node_frequency.empty()) dst.node_frequency.assign(dfg.node_count(), 0);
+      for (std::size_t i = 0; i < entry.node_frequency.size(); ++i)
+        dst.node_frequency[i] += entry.node_frequency[i];
+      for (auto& m : entry.members) dst.members.push_back(std::move(m));
+    }
+  }
+
+  out.per_pattern.reserve(merged.size());
+  for (auto& [pattern, entry] : merged) {
+    PatternAntichains pa;
+    pa.pattern = pattern;
+    pa.antichain_count = entry.count;
+    pa.node_frequency = std::move(entry.node_frequency);
+    pa.members = std::move(entry.members);
+    if (options.collect_members) std::sort(pa.members.begin(), pa.members.end());
+    out.per_pattern.push_back(std::move(pa));
+  }
+  return out;
+}
+
+AntichainAnalysis enumerate_antichains(const Dfg& dfg, const EnumerateOptions& options) {
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  return enumerate_antichains(dfg, levels, reach, options);
+}
+
+std::vector<std::vector<std::uint64_t>> count_antichains_by_size_span(
+    const Dfg& dfg, const Levels& levels, const Reachability& reach, std::size_t max_size,
+    bool parallel) {
+  EnumerateOptions options;
+  options.max_size = max_size;
+  options.parallel = parallel;
+  // Classification is cheap relative to the walk; reuse the main path.
+  return enumerate_antichains(dfg, levels, reach, options).count_by_size_span;
+}
+
+}  // namespace mpsched

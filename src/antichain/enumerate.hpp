@@ -1,0 +1,92 @@
+// Antichain enumeration and per-pattern classification (paper §5.1).
+//
+// The pattern generation step of the selection algorithm:
+//   1. find all antichains A of the DFG with |A| ≤ C and Span(A) ≤ limit,
+//   2. classify them by their pattern (the multiset of member colors),
+//   3. per pattern p̄, record the antichain count and the node frequency
+//      vector h(p̄, n) = number of p̄-antichains containing node n.
+//
+// Implementation: depth-first extension over nodes in increasing id order.
+// The running set keeps a compatibility bitset (the AND of every member's
+// parallel mask), so testing whether node j can extend the antichain is a
+// single bit probe, and candidate iteration enumerates set bits > max id.
+// Span is monotone non-decreasing as a set grows, so the span limit prunes
+// the subtree, not just the leaf.
+//
+// Parallelism: the search forest is partitioned by the antichain's minimum
+// node id; workers claim roots through the shared thread pool and merge
+// per-thread accumulators at the end. Results are canonically sorted, so
+// output is identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/closure.hpp"
+#include "graph/dfg.hpp"
+#include "graph/levels.hpp"
+#include "pattern/pattern.hpp"
+
+namespace mpsched {
+
+struct EnumerateOptions {
+  /// Maximum antichain size (C; 5 for the Montium).
+  std::size_t max_size = 5;
+  /// Span limit; nullopt = unlimited (equivalent to limit ASAPmax).
+  std::optional<int> span_limit;
+  /// Also store the explicit member lists per pattern (small graphs only —
+  /// memory grows with the antichain count).
+  bool collect_members = false;
+  /// Use the shared thread pool. Off → strictly sequential.
+  bool parallel = true;
+  /// Safety valve: abort with an exception if more than this many
+  /// antichains would be enumerated (guards accidental explosion).
+  std::uint64_t max_antichains = 500'000'000;
+};
+
+/// Statistics for one pattern discovered in the DFG.
+struct PatternAntichains {
+  Pattern pattern;
+  std::uint64_t antichain_count = 0;
+  /// h(p̄, n) indexed by NodeId: how many antichains of this pattern
+  /// contain node n (paper §5.2, Table 6).
+  std::vector<std::uint64_t> node_frequency;
+  /// Explicit antichains (ascending node ids), only if collect_members.
+  std::vector<std::vector<NodeId>> members;
+};
+
+struct AntichainAnalysis {
+  /// One entry per distinct pattern, sorted by Pattern::operator< (size
+  /// first, then colors) for deterministic output.
+  std::vector<PatternAntichains> per_pattern;
+  /// Total antichains enumerated (all sizes 1..max_size).
+  std::uint64_t total = 0;
+  /// count_by_size_span[s][k] = number of antichains of size s (1-based,
+  /// index 0 unused) whose exact span equals k. Powers Table 5, whose rows
+  /// are cumulative over k.
+  std::vector<std::vector<std::uint64_t>> count_by_size_span;
+
+  /// Cumulative Table 5 cell: antichains of size `size` with span ≤ limit.
+  std::uint64_t count_with_span_at_most(std::size_t size, int limit) const;
+
+  /// Locates the stats for a pattern, if it occurred.
+  const PatternAntichains* find(const Pattern& p) const;
+};
+
+/// Runs the enumeration. `levels` and `reach` must belong to `dfg`.
+AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
+                                       const Reachability& reach,
+                                       const EnumerateOptions& options = {});
+
+/// Convenience overload computing levels and reachability internally.
+AntichainAnalysis enumerate_antichains(const Dfg& dfg, const EnumerateOptions& options = {});
+
+/// Counts antichains only (no per-pattern classification); cheaper when
+/// only Table-5-style counts are needed.
+std::vector<std::vector<std::uint64_t>> count_antichains_by_size_span(
+    const Dfg& dfg, const Levels& levels, const Reachability& reach,
+    std::size_t max_size, bool parallel = true);
+
+}  // namespace mpsched

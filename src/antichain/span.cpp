@@ -1,0 +1,22 @@
+#include "antichain/span.hpp"
+
+#include <algorithm>
+
+namespace mpsched {
+
+int span_of(std::span<const NodeId> nodes, const Levels& levels) {
+  MPSCHED_REQUIRE(!nodes.empty(), "span of an empty set is undefined");
+  int max_asap = INT_MIN;
+  int min_alap = INT_MAX;
+  for (const NodeId n : nodes) {
+    max_asap = std::max(max_asap, levels.asap[n]);
+    min_alap = std::min(min_alap, levels.alap[n]);
+  }
+  return clamp_nonnegative(max_asap - min_alap);
+}
+
+int span_schedule_lower_bound(std::span<const NodeId> nodes, const Levels& levels) {
+  return levels.asap_max + span_of(nodes, levels) + 1;
+}
+
+}  // namespace mpsched

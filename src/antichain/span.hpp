@@ -1,0 +1,51 @@
+// Span of an antichain (paper §5.1):
+//
+//   Span(A) = U( max_{n∈A} ASAP(n) − min_{n∈A} ALAP(n) ),  U(x)=max(x,0)
+//
+// Theorem 1: if the nodes of antichain A are scheduled in one clock cycle,
+// the final schedule has at least ASAPmax + Span(A) + 1 cycles. Large-span
+// antichains are therefore useless to a good schedule, which justifies the
+// enumerator's span limit (and shrinks Table 5's counts).
+#pragma once
+
+#include <climits>
+#include <span>
+
+#include "graph/levels.hpp"
+
+namespace mpsched {
+
+/// U(x) from the paper.
+constexpr int clamp_nonnegative(int x) { return x < 0 ? 0 : x; }
+
+/// Span of an explicit node set (need not be an antichain).
+int span_of(std::span<const NodeId> nodes, const Levels& levels);
+
+/// Incremental span bookkeeping for the enumerator: track the running
+/// max-ASAP / min-ALAP of a growing set.
+struct SpanTracker {
+  int max_asap = INT_MIN;
+  int min_alap = INT_MAX;
+
+  int span() const { return clamp_nonnegative(max_asap - min_alap); }
+
+  /// Span if `n` were added.
+  int span_with(NodeId n, const Levels& lv) const {
+    const int ma = max_asap > lv.asap[n] ? max_asap : lv.asap[n];
+    const int mi = min_alap < lv.alap[n] ? min_alap : lv.alap[n];
+    return clamp_nonnegative(ma - mi);
+  }
+
+  SpanTracker with(NodeId n, const Levels& lv) const {
+    SpanTracker t(*this);
+    if (lv.asap[n] > t.max_asap) t.max_asap = lv.asap[n];
+    if (lv.alap[n] < t.min_alap) t.min_alap = lv.alap[n];
+    return t;
+  }
+};
+
+/// Theorem 1 lower bound on total schedule length when all of `nodes` are
+/// forced into a single cycle.
+int span_schedule_lower_bound(std::span<const NodeId> nodes, const Levels& levels);
+
+}  // namespace mpsched

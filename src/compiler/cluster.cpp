@@ -1,0 +1,94 @@
+#include "compiler/cluster.hpp"
+
+#include <algorithm>
+
+#include "graph/closure.hpp"
+#include "util/require.hpp"
+
+namespace mpsched {
+
+std::vector<FusionRule> montium_fusion_rules() {
+  return {{"c", "a", "m"}};  // multiply feeding an addition → MAC
+}
+
+ClusterResult cluster_dfg(const Dfg& dfg, const std::vector<FusionRule>& rules) {
+  dfg.validate();
+
+  // Resolve rules against the graph's alphabet.
+  struct ResolvedRule {
+    ColorId producer;
+    ColorId consumer;
+    std::string fused_name;
+  };
+  std::vector<ResolvedRule> resolved;
+  for (const FusionRule& rule : rules) {
+    const auto p = dfg.find_color(rule.producer_color);
+    const auto c = dfg.find_color(rule.consumer_color);
+    if (p && c) resolved.push_back({*p, *c, rule.fused_color});
+  }
+
+  // fused_into[v] = consumer node that absorbs v (for producers), or
+  // kInvalidNode. fused_color_of[v] = new color name for fused consumers.
+  std::vector<NodeId> fused_into(dfg.node_count(), kInvalidNode);
+  std::vector<const std::string*> fused_color_of(dfg.node_count(), nullptr);
+
+  // Fusing u→v is safe iff v is u's only consumer and u is not reachable
+  // from any OTHER predecessor path of v that runs through v (merging u,v
+  // creates a cycle iff some path u ⤳ v avoids the direct edge; i.e. iff
+  // u reaches a different predecessor of v).
+  const Reachability reach(dfg);
+  auto fusion_safe = [&](NodeId u, NodeId v) {
+    for (const NodeId p : dfg.preds(v))
+      if (p != u && reach.reaches(u, p)) return false;
+    return true;
+  };
+
+  std::size_t fused_pairs = 0;
+  for (const NodeId v : dfg.topo_order()) {
+    if (fused_color_of[v] != nullptr) continue;  // already a fusion target
+    for (const ResolvedRule& rule : resolved) {
+      if (dfg.color(v) != rule.consumer) continue;
+      for (const NodeId u : dfg.preds(v)) {
+        if (dfg.color(u) != rule.producer) continue;
+        if (dfg.succs(u).size() != 1) continue;       // value would escape
+        if (fused_into[u] != kInvalidNode) continue;  // producer taken
+        if (fused_color_of[u] != nullptr) continue;   // producer already fused itself
+        if (!fusion_safe(u, v)) continue;
+        fused_into[u] = v;
+        fused_color_of[v] = &rule.fused_name;
+        ++fused_pairs;
+        break;
+      }
+      if (fused_color_of[v] != nullptr) break;
+    }
+  }
+
+  // Rebuild.
+  ClusterResult out;
+  out.dfg.set_name(dfg.name());
+  out.node_map.assign(dfg.node_count(), kInvalidNode);
+  out.fused_pairs = fused_pairs;
+  for (ColorId c = 0; c < dfg.color_count(); ++c) out.dfg.intern_color(dfg.color_name(c));
+
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (fused_into[n] != kInvalidNode) continue;  // absorbed producer
+    const ColorId color = fused_color_of[n] != nullptr
+                              ? out.dfg.intern_color(*fused_color_of[n])
+                              : dfg.color(n);
+    out.node_map[n] = out.dfg.add_node(color, dfg.node_name(n));
+  }
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    if (fused_into[n] != kInvalidNode) out.node_map[n] = out.node_map[fused_into[n]];
+
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    for (const NodeId s : dfg.succs(n)) {
+      const NodeId from = out.node_map[n];
+      const NodeId to = out.node_map[s];
+      if (from != to && !out.dfg.has_edge(from, to)) out.dfg.add_edge(from, to);
+    }
+  }
+  out.dfg.validate();
+  return out;
+}
+
+}  // namespace mpsched

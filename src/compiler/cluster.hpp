@@ -1,0 +1,45 @@
+// Clustering phase (paper §1, second phase; Guo et al., ACSAC 2003).
+//
+// A Montium ALU is more than a single-function unit: it can chain a
+// multiplier into its adder within one cycle. Clustering exploits this by
+// fusing a producer/consumer pair into one compound operation that
+// occupies a single ALU slot — the classic case being multiply-accumulate
+// (`c` feeding `a` → fused color `m`). Fewer, fatter nodes mean shorter
+// schedules and different pattern statistics, which is why the phase runs
+// before pattern selection.
+//
+// A fusion rule (producer color, consumer color, fused color name) is
+// applied wherever the producer's ONLY consumer is the consumer node (so
+// no value would need to escape mid-ALU) and fusing does not create a
+// dependency cycle (checked; skipped otherwise).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+struct FusionRule {
+  std::string producer_color;
+  std::string consumer_color;
+  std::string fused_color;
+};
+
+struct ClusterResult {
+  Dfg dfg;
+  /// old NodeId → new NodeId (producer and consumer of a fused pair map to
+  /// the same new node).
+  std::vector<NodeId> node_map;
+  std::size_t fused_pairs = 0;
+};
+
+/// Applies the rules greedily in topological order, one fusion per
+/// consumer. Rules whose colors don't exist in the graph are ignored.
+ClusterResult cluster_dfg(const Dfg& dfg, const std::vector<FusionRule>& rules);
+
+/// The standard Montium rule set: multiply-accumulate (c·a → m).
+std::vector<FusionRule> montium_fusion_rules();
+
+}  // namespace mpsched

@@ -1,0 +1,102 @@
+#include "compiler/pipeline.hpp"
+
+#include <sstream>
+
+#include "compiler/cluster.hpp"
+#include "compiler/transform.hpp"
+
+namespace mpsched {
+
+CompileReport compile(const Dfg& input, const CompileOptions& options) {
+  CompileReport report;
+
+  // --- Phase 1: Transformation (validate; optional CSE + rebalancing) --
+  try {
+    input.validate();
+  } catch (const std::exception& e) {
+    report.error = std::string("transformation phase: ") + e.what();
+    return report;
+  }
+  report.nodes = input.node_count();
+
+  Dfg working = input;
+  if (options.run_transformations) {
+    std::vector<ColorId> associative;
+    if (const auto a = working.find_color("a")) associative.push_back(*a);
+    working = transform_dfg(working, associative).dfg;
+  }
+  report.nodes_after_transform = working.node_count();
+
+  // --- Phase 2: Clustering (optional MAC fusion; else identity) --------
+  if (options.run_clustering)
+    working = cluster_dfg(working, montium_fusion_rules()).dfg;
+  report.clusters = working.node_count();
+  const Dfg& dfg = working;
+
+  // --- Phase 3a: Pattern selection --------------------------------------
+  if (options.fixed_patterns.has_value()) {
+    report.patterns = *options.fixed_patterns;
+  } else {
+    SelectOptions sel = options.select;
+    sel.pattern_count = options.pattern_count;
+    sel.capacity = options.tile.alu_count;
+    sel.span_limit = options.span_limit;
+    report.selection = select_patterns(dfg, sel);
+    report.patterns = report.selection.patterns;
+  }
+
+  const TileValidation tv = validate_for_tile(report.patterns, options.tile);
+  if (!tv.ok) {
+    report.error = "scheduling phase: " + tv.error;
+    return report;
+  }
+
+  // --- Phase 3b: Multi-pattern scheduling --------------------------------
+  report.schedule = multi_pattern_schedule(dfg, report.patterns, options.schedule);
+  if (!report.schedule.success) {
+    report.error = "scheduling phase: " + report.schedule.error;
+    return report;
+  }
+
+  // --- Phase 4: Allocation + execution on the tile model ----------------
+  try {
+    report.allocation = allocate_alus(dfg, report.schedule.schedule, options.tile);
+  } catch (const std::exception& e) {
+    report.error = std::string("allocation phase: ") + e.what();
+    return report;
+  }
+  report.execution = execute_on_tile(dfg, report.schedule.schedule, report.allocation,
+                                     options.tile, &report.patterns);
+  if (!report.execution.ok) {
+    report.error = "execution check: " + report.execution.error;
+    return report;
+  }
+
+  if (options.run_transformations || options.run_clustering)
+    report.scheduled_dfg = working;
+  report.success = true;
+  return report;
+}
+
+std::string CompileReport::to_string(const Dfg& dfg) const {
+  // When rewrite phases ran, patterns/schedule refer to the rewritten
+  // graph; render against it.
+  const Dfg& render_dfg = scheduled_dfg.has_value() ? *scheduled_dfg : dfg;
+  std::ostringstream os;
+  os << "compile '" << dfg.name() << "': ";
+  if (!success) {
+    os << "FAILED — " << error << '\n';
+    return os.str();
+  }
+  os << "OK\n";
+  os << "  transformation: " << nodes << " operations in, " << nodes_after_transform
+     << " after rewrites\n";
+  os << "  clustering:     " << clusters << " one-ALU clusters\n";
+  os << "  scheduling:     patterns {" << patterns.to_string(render_dfg) << "} -> "
+     << schedule.cycles << " cycles\n";
+  os << "  allocation:     " << allocation.reconfigurations << " ALU reconfigurations\n";
+  os << "  execution:      " << execution.to_string() << '\n';
+  return os.str();
+}
+
+}  // namespace mpsched

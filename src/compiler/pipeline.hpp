@@ -1,0 +1,65 @@
+// The Montium compiler flow the paper situates itself in (§1):
+//   Transformation → Clustering → Scheduling → Allocation
+//
+// This module wires the library's pieces into that end-to-end pipeline:
+//   * Transformation — graph validation + level/statistics analysis (the
+//     real compiler rewrites C code into a DFG; our inputs are DFGs
+//     already, so this phase checks & annotates),
+//   * Clustering — grouping of primitive operations into one-ALU clusters;
+//     for the ALU-level DFGs used throughout the paper this is the
+//     identity mapping (each operation is one cluster), kept explicit so
+//     the report shows the phase,
+//   * Scheduling — pattern selection (paper §5) followed by multi-pattern
+//     list scheduling (paper §4),
+//   * Allocation — ALU binding minimizing reconfigurations + execution on
+//     the tile model, which re-verifies every hardware constraint.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "montium/execute.hpp"
+#include "montium/tile.hpp"
+
+namespace mpsched {
+
+struct CompileOptions {
+  TileConfig tile{};
+  std::size_t pattern_count = 4;          ///< Pdef
+  std::optional<int> span_limit;          ///< antichain span cap (nullopt = off)
+  SelectOptions select{};                 ///< ε, α, size bonus, ...
+  MpScheduleOptions schedule{};           ///< F-rule, tie-breaks, trace
+  /// Use a caller-provided pattern set instead of running selection.
+  std::optional<PatternSet> fixed_patterns;
+  /// Transformation phase: CSE + reduction rebalancing of 'a'-colored
+  /// chains (off by default — reproductions schedule the graph as given).
+  bool run_transformations = false;
+  /// Clustering phase: apply montium_fusion_rules() (MAC fusion).
+  bool run_clustering = false;
+};
+
+struct CompileReport {
+  bool success = false;
+  std::string error;
+
+  // Phase artifacts. When transformations/clustering run, `scheduled_dfg`
+  // holds the rewritten graph the later phases operated on.
+  std::optional<Dfg> scheduled_dfg;
+  std::size_t nodes = 0;
+  std::size_t nodes_after_transform = 0;
+  std::size_t clusters = 0;
+  SelectionResult selection;     ///< empty when fixed_patterns was given
+  PatternSet patterns;           ///< the set actually scheduled with
+  MpScheduleResult schedule;
+  Allocation allocation;
+  ExecutionStats execution;
+
+  std::string to_string(const Dfg& dfg) const;
+};
+
+/// Runs the full flow on a DFG.
+CompileReport compile(const Dfg& dfg, const CompileOptions& options = {});
+
+}  // namespace mpsched

@@ -1,0 +1,227 @@
+#include "compiler/transform.hpp"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+#include <tuple>
+
+#include "graph/levels.hpp"
+#include "util/require.hpp"
+
+namespace mpsched {
+
+namespace {
+
+/// Rebuilds a graph keeping only nodes where keep[n], re-pointing edges of
+/// dropped nodes to canonical[n]. Edge adjacency order is preserved in
+/// node-id-then-insertion order, which keeps downstream runs deterministic.
+TransformResult rebuild(const Dfg& dfg, const std::vector<NodeId>& canonical) {
+  TransformResult out;
+  out.dfg.set_name(dfg.name());
+  out.node_map.assign(dfg.node_count(), kInvalidNode);
+
+  // Intern colors in original order so ColorIds are stable.
+  for (ColorId c = 0; c < dfg.color_count(); ++c)
+    out.dfg.intern_color(dfg.color_name(c));
+
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (canonical[n] != n) continue;  // dropped: mapped to survivor below
+    out.node_map[n] = out.dfg.add_node(dfg.color(n), dfg.node_name(n));
+  }
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (canonical[n] != n) {
+      // Follow the canonical chain (CSE can cascade).
+      NodeId root = canonical[n];
+      while (canonical[root] != root) root = canonical[root];
+      out.node_map[n] = out.node_map[root];
+    }
+  }
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (canonical[n] != n) continue;
+    for (const NodeId s : dfg.succs(n)) {
+      const NodeId from = out.node_map[n];
+      const NodeId to = out.node_map[s];
+      if (from != to && !out.dfg.has_edge(from, to)) out.dfg.add_edge(from, to);
+    }
+  }
+  out.dfg.validate();
+  return out;
+}
+
+}  // namespace
+
+TransformResult eliminate_common_subexpressions(const Dfg& dfg) {
+  dfg.validate();
+  std::vector<NodeId> canonical(dfg.node_count());
+  for (NodeId n = 0; n < dfg.node_count(); ++n) canonical[n] = n;
+
+  // Fixed point: process in topological order so predecessors are already
+  // canonicalized when their consumers are keyed.
+  std::size_t eliminated = 0;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::map<std::pair<ColorId, std::vector<NodeId>>, NodeId> seen;
+    for (const NodeId n : dfg.topo_order()) {
+      if (canonical[n] != n) continue;
+      if (dfg.preds(n).empty()) continue;  // inputs are positionally distinct
+      std::vector<NodeId> key_preds;
+      key_preds.reserve(dfg.preds(n).size());
+      for (const NodeId p : dfg.preds(n)) {
+        NodeId root = canonical[p];
+        while (canonical[root] != root) root = canonical[root];
+        key_preds.push_back(root);
+      }
+      std::sort(key_preds.begin(), key_preds.end());
+      const auto key = std::make_pair(dfg.color(n), std::move(key_preds));
+      const auto [it, inserted] = seen.emplace(key, n);
+      if (!inserted) {
+        canonical[n] = it->second;
+        ++eliminated;
+        changed = true;
+      }
+    }
+  }
+
+  TransformResult out = rebuild(dfg, canonical);
+  out.eliminated = eliminated;
+  return out;
+}
+
+TransformResult rebalance_reductions(const Dfg& dfg, ColorId color) {
+  dfg.validate();
+  MPSCHED_REQUIRE(color < dfg.color_count(), "unknown color");
+
+  // Identify maximal chains: n is a link if color(n)==color, |preds|<=2,
+  // and one predecessor is itself a link whose ONLY consumer is n.
+  // Chains are collected as (leaf operands...) -> root.
+  std::vector<char> is_chain_member(dfg.node_count(), 0);
+  std::vector<std::vector<NodeId>> chains;  // member nodes, root first
+  std::vector<std::vector<NodeId>> chain_operands;
+
+  // Scan roots in REVERSE topological order: the final link of a chain is
+  // reached before its internal links, so the upward walk sees the whole
+  // chain; internal links get marked and skipped.
+  const std::vector<NodeId> topo = dfg.topo_order();
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const NodeId root = *it;
+    if (dfg.color(root) != color || is_chain_member[root]) continue;
+    // Is root the END of a chain? Walk upward through same-color,
+    // single-use predecessors.
+    std::vector<NodeId> members;
+    std::vector<NodeId> operands;
+    NodeId cur = root;
+    while (true) {
+      members.push_back(cur);
+      NodeId next = kInvalidNode;
+      for (const NodeId p : dfg.preds(cur)) {
+        if (next == kInvalidNode && dfg.color(p) == color && dfg.succs(p).size() == 1 &&
+            !is_chain_member[p] && dfg.preds(p).size() >= 1) {
+          next = p;
+        } else {
+          operands.push_back(p);  // external operand of this link
+        }
+      }
+      if (next == kInvalidNode) break;
+      cur = next;
+    }
+    if (members.size() < 3) continue;  // rebalancing pays off from depth 3
+    for (const NodeId m : members) is_chain_member[m] = 1;
+    chains.push_back(std::move(members));
+    chain_operands.push_back(std::move(operands));
+  }
+  // Emit in forward topological order of roots so that a chain feeding
+  // another chain (as an operand) is materialized before its consumer.
+  std::reverse(chains.begin(), chains.end());
+  std::reverse(chain_operands.begin(), chain_operands.end());
+
+  TransformResult out;
+  out.dfg.set_name(dfg.name());
+  out.node_map.assign(dfg.node_count(), kInvalidNode);
+  for (ColorId c = 0; c < dfg.color_count(); ++c) out.dfg.intern_color(dfg.color_name(c));
+
+  // Copy all non-chain nodes first (original order keeps ids stable-ish).
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    if (!is_chain_member[n]) out.node_map[n] = out.dfg.add_node(dfg.color(n), dfg.node_name(n));
+
+  // Emit depth-balanced trees for each chain. Operands carry different
+  // subtree depths (an operand may itself be a deep expression), so plain
+  // pairwise rounds could *deepen* an already balanced tree; combining the
+  // two shallowest operands first (Huffman on depth) minimizes the final
+  // depth instead. Depth proxy: the operand's level in the original graph.
+  const Levels old_levels = compute_levels(dfg);
+  std::size_t rebalanced = 0;
+  for (std::size_t ci = 0; ci < chains.size(); ++ci) {
+    const std::vector<NodeId>& members = chains[ci];
+    // (depth, tiebreak, new-graph node) min-heap.
+    using Item = std::tuple<int, std::size_t, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+    std::size_t order = 0;
+    for (const NodeId op : chain_operands[ci]) {
+      MPSCHED_ASSERT(out.node_map[op] != kInvalidNode);
+      heap.emplace(old_levels.asap[op], order++, out.node_map[op]);
+    }
+    MPSCHED_ASSERT(heap.size() >= 2);
+    std::size_t name_cursor = members.size();
+    auto next_name = [&]() -> std::string {
+      if (name_cursor > 0) return dfg.node_name(members[--name_cursor]);
+      return "";  // auto-name any surplus
+    };
+    while (heap.size() > 1) {
+      const auto [d1, o1, n1] = heap.top();
+      heap.pop();
+      const auto [d2, o2, n2] = heap.top();
+      heap.pop();
+      const NodeId combined = out.dfg.add_node(color, next_name());
+      out.dfg.add_edge(n1, combined);
+      if (n2 != n1) out.dfg.add_edge(n2, combined);
+      heap.emplace(std::max(d1, d2) + 1, order++, combined);
+      ++rebalanced;
+    }
+    const NodeId tree_root = std::get<2>(heap.top());
+    for (const NodeId m : members) out.node_map[m] = tree_root;
+  }
+
+  // Re-create edges of non-chain nodes (chain-internal edges are replaced
+  // by the balanced trees; operand edges were added above).
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (is_chain_member[n]) {
+      // Only the root has external successors (internal links are single-use).
+      for (const NodeId s : dfg.succs(n)) {
+        if (is_chain_member[s]) continue;
+        const NodeId from = out.node_map[n];
+        const NodeId to = out.node_map[s];
+        if (!out.dfg.has_edge(from, to)) out.dfg.add_edge(from, to);
+      }
+      continue;
+    }
+    for (const NodeId s : dfg.succs(n)) {
+      if (is_chain_member[s]) continue;  // operand edges already emitted
+      const NodeId from = out.node_map[n];
+      const NodeId to = out.node_map[s];
+      if (!out.dfg.has_edge(from, to)) out.dfg.add_edge(from, to);
+    }
+  }
+  out.dfg.validate();
+  out.rebalanced = rebalanced;
+  return out;
+}
+
+TransformResult transform_dfg(const Dfg& dfg,
+                              const std::vector<ColorId>& associative_colors) {
+  TransformResult cse = eliminate_common_subexpressions(dfg);
+  TransformResult current = std::move(cse);
+  for (const ColorId c : associative_colors) {
+    if (c >= current.dfg.color_count()) continue;
+    TransformResult next = rebalance_reductions(current.dfg, c);
+    // Compose node maps.
+    for (NodeId n = 0; n < current.node_map.size(); ++n)
+      if (current.node_map[n] != kInvalidNode)
+        current.node_map[n] = next.node_map[current.node_map[n]];
+    current.dfg = std::move(next.dfg);
+    current.rebalanced += next.rebalanced;
+  }
+  return current;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,46 @@
+// Transformation phase (paper §1: the compiler's first phase) — semantic-
+// preserving DFG rewrites that improve schedulability:
+//
+//  * common-subexpression elimination: two operations with the same color
+//    and the same predecessor multiset compute the same value (inputs are
+//    external and positionally fixed per node, so this is conservative for
+//    nodes with at least one predecessor); the duplicate's consumers are
+//    re-pointed at the surviving node,
+//  * reduction rebalancing: a left-leaning chain of same-color associative
+//    operations (additions) computing a single reduction is rewritten as a
+//    balanced tree, shrinking the critical path from O(n) to O(log n) —
+//    directly more antichain parallelism for the pattern machinery.
+//
+// Both rewrites return a fresh graph plus an old→new node mapping.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+struct TransformResult {
+  Dfg dfg;
+  /// old NodeId → new NodeId (kInvalidNode when the node was eliminated;
+  /// eliminated nodes' mapping points at their canonical survivor).
+  std::vector<NodeId> node_map;
+  std::size_t eliminated = 0;   ///< CSE merges performed
+  std::size_t rebalanced = 0;   ///< chain links rewritten
+};
+
+/// Merges duplicate operations (same color, same predecessor multiset,
+/// both with ≥1 predecessor). Runs to a fixed point.
+TransformResult eliminate_common_subexpressions(const Dfg& dfg);
+
+/// Rebalances maximal chains of a given associative color into trees.
+/// A chain link is a node of `color` whose left operand is the previous
+/// link (single use) and which has exactly two predecessors.
+TransformResult rebalance_reductions(const Dfg& dfg, ColorId color);
+
+/// The full phase: CSE to fixed point, then rebalancing for every color
+/// listed in `associative_colors`.
+TransformResult transform_dfg(const Dfg& dfg, const std::vector<ColorId>& associative_colors);
+
+}  // namespace mpsched

@@ -1,0 +1,101 @@
+#include "core/exhaustive.hpp"
+
+#include <algorithm>
+
+namespace mpsched {
+
+namespace {
+
+/// All multisets of exactly `size` colors drawn from `colors`.
+void enumerate_patterns(const std::vector<ColorId>& colors, std::size_t size,
+                        std::size_t from, std::vector<ColorId>& current,
+                        std::vector<Pattern>& out) {
+  if (current.size() == size) {
+    out.emplace_back(current);
+    return;
+  }
+  for (std::size_t i = from; i < colors.size(); ++i) {
+    current.push_back(colors[i]);
+    enumerate_patterns(colors, size, i, current, out);
+    current.pop_back();
+  }
+}
+
+std::uint64_t combinations(std::uint64_t n, std::uint64_t k) {
+  if (k > n) return 0;
+  std::uint64_t result = 1;
+  for (std::uint64_t i = 0; i < k; ++i) result = result * (n - i) / (i + 1);
+  return result;
+}
+
+}  // namespace
+
+ExhaustiveResult exhaustive_pattern_search(const Dfg& dfg, const ExhaustiveOptions& options) {
+  MPSCHED_REQUIRE(options.pattern_count >= 1, "Pdef must be positive");
+  dfg.validate();
+
+  std::vector<ColorId> colors;
+  {
+    std::vector<bool> seen(dfg.color_count(), false);
+    for (NodeId n = 0; n < dfg.node_count(); ++n)
+      if (!seen[dfg.color(n)]) {
+        seen[dfg.color(n)] = true;
+        colors.push_back(dfg.color(n));
+      }
+    std::sort(colors.begin(), colors.end());
+  }
+  MPSCHED_REQUIRE(!colors.empty(), "graph has no nodes");
+
+  std::vector<Pattern> universe;
+  std::vector<ColorId> scratch;
+  enumerate_patterns(colors, options.capacity, 0, scratch, universe);
+
+  const std::uint64_t total =
+      combinations(universe.size(), options.pattern_count);
+  MPSCHED_CHECK(total <= options.max_combinations,
+                "exhaustive search would evaluate " + std::to_string(total) +
+                    " pattern sets (limit " + std::to_string(options.max_combinations) + ")");
+
+  ExhaustiveResult result;
+  result.cycles = SIZE_MAX;
+
+  // Iterate k-combinations of the universe.
+  std::vector<std::size_t> idx(options.pattern_count);
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  if (idx.size() > universe.size()) {
+    MPSCHED_CHECK(false, "fewer candidate patterns than Pdef");
+  }
+
+  while (true) {
+    PatternSet set;
+    for (const std::size_t i : idx) set.insert(universe[i]);
+    if (set.covers(colors)) {
+      const MpScheduleResult r = multi_pattern_schedule(dfg, set, options.schedule);
+      ++result.sets_evaluated;
+      if (r.success && r.cycles < result.cycles) {
+        result.cycles = r.cycles;
+        result.best = std::move(set);
+      }
+    } else {
+      ++result.sets_skipped;
+    }
+
+    // Next combination.
+    std::size_t pos = idx.size();
+    while (pos > 0) {
+      --pos;
+      if (idx[pos] != pos + universe.size() - idx.size()) {
+        ++idx[pos];
+        for (std::size_t j = pos + 1; j < idx.size(); ++j) idx[j] = idx[j - 1] + 1;
+        break;
+      }
+      if (pos == 0) {
+        MPSCHED_CHECK(result.cycles != SIZE_MAX,
+                      "no covering pattern set exists for this Pdef");
+        return result;
+      }
+    }
+  }
+}
+
+}  // namespace mpsched

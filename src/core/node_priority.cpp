@@ -1,0 +1,45 @@
+#include "core/node_priority.hpp"
+
+#include <algorithm>
+
+namespace mpsched {
+
+NodePriorityParams derive_priority_params(const Dfg& dfg, const Reachability& reach) {
+  std::int64_t max_all = 0;
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    max_all = std::max(max_all, static_cast<std::int64_t>(reach.followers(n).count()));
+  const std::int64_t t = max_all + 1;
+
+  std::int64_t max_combined = 0;
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    const auto direct = static_cast<std::int64_t>(dfg.succs(n).size());
+    const auto all = static_cast<std::int64_t>(reach.followers(n).count());
+    max_combined = std::max(max_combined, t * direct + all);
+  }
+  return {.s = max_combined + 1, .t = t};
+}
+
+NodePriorities compute_node_priorities(const Dfg& dfg, const Levels& levels,
+                                       const Reachability& reach, NodePriorityParams params) {
+  MPSCHED_REQUIRE(levels.asap.size() == dfg.node_count(), "levels do not belong to this graph");
+  MPSCHED_REQUIRE(reach.node_count() == dfg.node_count(),
+                  "reachability does not belong to this graph");
+  if (params.s == 0 && params.t == 0) params = derive_priority_params(dfg, reach);
+  MPSCHED_REQUIRE(params.s > 0 && params.t > 0, "priority parameters must be positive");
+
+  NodePriorities np;
+  np.params = params;
+  np.f.resize(dfg.node_count());
+  np.direct_successors.resize(dfg.node_count());
+  np.all_successors.resize(dfg.node_count());
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    const auto direct = static_cast<std::int64_t>(dfg.succs(n).size());
+    const auto all = static_cast<std::int64_t>(reach.followers(n).count());
+    np.direct_successors[n] = direct;
+    np.all_successors[n] = all;
+    np.f[n] = params.s * levels.height[n] + params.t * direct + all;
+  }
+  return np;
+}
+
+}  // namespace mpsched

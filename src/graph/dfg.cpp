@@ -1,0 +1,96 @@
+#include "graph/dfg.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+namespace mpsched {
+
+ColorId Dfg::intern_color(std::string_view color_name) {
+  MPSCHED_REQUIRE(!color_name.empty(), "color name must be non-empty");
+  const std::string key(color_name);
+  if (const auto it = color_index_.find(key); it != color_index_.end()) return it->second;
+  MPSCHED_REQUIRE(color_names_.size() < std::numeric_limits<ColorId>::max(),
+                  "too many distinct colors");
+  const auto id = static_cast<ColorId>(color_names_.size());
+  color_names_.push_back(key);
+  color_index_.emplace(key, id);
+  return id;
+}
+
+NodeId Dfg::add_node(ColorId color, std::string node_name) {
+  MPSCHED_REQUIRE(color < color_names_.size(), "unknown color id");
+  const auto id = static_cast<NodeId>(node_count());
+  if (node_name.empty()) node_name = "n" + std::to_string(id);
+  MPSCHED_REQUIRE(node_index_.find(node_name) == node_index_.end(),
+                  "duplicate node name '" + node_name + "'");
+  colors_.push_back(color);
+  node_index_.emplace(node_name, id);
+  node_names_.push_back(std::move(node_name));
+  preds_.emplace_back();
+  succs_.emplace_back();
+  return id;
+}
+
+void Dfg::add_edge(NodeId from, NodeId to) {
+  MPSCHED_REQUIRE(from < node_count(), "edge source out of range");
+  MPSCHED_REQUIRE(to < node_count(), "edge target out of range");
+  MPSCHED_REQUIRE(from != to, "self-loop on node '" + node_names_[from] + "'");
+  MPSCHED_REQUIRE(!has_edge(from, to),
+                  "duplicate edge " + node_names_[from] + " -> " + node_names_[to]);
+  succs_[from].push_back(to);
+  preds_[to].push_back(from);
+  ++edge_count_;
+}
+
+std::optional<NodeId> Dfg::find_node(std::string_view node_name) const {
+  const auto it = node_index_.find(std::string(node_name));
+  if (it == node_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<ColorId> Dfg::find_color(std::string_view color_name) const {
+  const auto it = color_index_.find(std::string(color_name));
+  if (it == color_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Dfg::has_edge(NodeId from, NodeId to) const {
+  MPSCHED_ASSERT(from < node_count() && to < node_count());
+  const auto& out = succs_[from];
+  return std::find(out.begin(), out.end(), to) != out.end();
+}
+
+std::vector<NodeId> Dfg::topo_order() const {
+  std::vector<std::size_t> pending(node_count());
+  std::deque<NodeId> ready;
+  for (NodeId n = 0; n < node_count(); ++n) {
+    pending[n] = preds_[n].size();
+    if (pending[n] == 0) ready.push_back(n);
+  }
+  std::vector<NodeId> order;
+  order.reserve(node_count());
+  while (!ready.empty()) {
+    const NodeId n = ready.front();
+    ready.pop_front();
+    order.push_back(n);
+    for (const NodeId s : succs_[n]) {
+      if (--pending[s] == 0) ready.push_back(s);
+    }
+  }
+  MPSCHED_CHECK(order.size() == node_count(), "graph '" + name_ + "' contains a cycle");
+  return order;
+}
+
+bool Dfg::is_dag() const {
+  try {
+    (void)topo_order();
+    return true;
+  } catch (const std::runtime_error&) {
+    return false;
+  }
+}
+
+void Dfg::validate() const { (void)topo_order(); }
+
+}  // namespace mpsched

@@ -1,0 +1,140 @@
+// Data Flow Graph (DFG) — the substrate every algorithm in mpsched
+// consumes (paper §3).
+//
+// A node represents one operation and carries a *color*: the type of the
+// function it computes (paper notation l(n); e.g. 'a' = addition,
+// 'b' = subtraction, 'c' = multiplication in the 3DFT example). A directed
+// edge n1→n2 states that n2 consumes a value produced by n1, so n1 must be
+// scheduled in an earlier clock cycle.
+//
+// Design notes:
+//  * Node ids are dense indices [0, node_count) in insertion order; the
+//    multi-pattern scheduler's FIFO tie-breaking (DESIGN.md §3) depends on
+//    adjacency lists preserving insertion order, which this class
+//    guarantees.
+//  * Colors are interned: the graph owns a small alphabet of color names
+//    (usually single letters) and nodes store a compact ColorId.
+//  * The structure is append-only (nodes and edges can be added, never
+//    removed); algorithms treat a finished graph as immutable.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace mpsched {
+
+using NodeId = std::uint32_t;
+using ColorId = std::uint16_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+
+class Dfg {
+ public:
+  Dfg() = default;
+  explicit Dfg(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const noexcept { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  // ------------------------------------------------------------------
+  // Construction
+  // ------------------------------------------------------------------
+
+  /// Interns a color name and returns its id; idempotent.
+  ColorId intern_color(std::string_view color_name);
+
+  /// Adds a node with the given color; `node_name` must be unique when
+  /// non-empty (empty names get an auto-generated "n<i>" label).
+  NodeId add_node(ColorId color, std::string node_name = "");
+
+  /// Convenience: interns the color by name first.
+  NodeId add_node(std::string_view color_name, std::string node_name = "") {
+    return add_node(intern_color(color_name), std::move(node_name));
+  }
+
+  /// Adds a dependency edge `from → to`. Duplicate edges and self-loops are
+  /// rejected. Cycle detection is deferred to validate()/is_dag() so
+  /// builders can insert edges in any order.
+  void add_edge(NodeId from, NodeId to);
+
+  // ------------------------------------------------------------------
+  // Topology
+  // ------------------------------------------------------------------
+
+  std::size_t node_count() const noexcept { return colors_.size(); }
+  std::size_t edge_count() const noexcept { return edge_count_; }
+  std::size_t color_count() const noexcept { return color_names_.size(); }
+
+  ColorId color(NodeId n) const {
+    MPSCHED_ASSERT(n < node_count());
+    return colors_[n];
+  }
+
+  const std::string& color_name(ColorId c) const {
+    MPSCHED_ASSERT(c < color_names_.size());
+    return color_names_[c];
+  }
+
+  const std::string& node_name(NodeId n) const {
+    MPSCHED_ASSERT(n < node_count());
+    return node_names_[n];
+  }
+
+  /// Predecessors Pred(n) in edge insertion order.
+  const std::vector<NodeId>& preds(NodeId n) const {
+    MPSCHED_ASSERT(n < node_count());
+    return preds_[n];
+  }
+
+  /// Successors Succ(n) in edge insertion order.
+  const std::vector<NodeId>& succs(NodeId n) const {
+    MPSCHED_ASSERT(n < node_count());
+    return succs_[n];
+  }
+
+  bool is_source(NodeId n) const { return preds(n).empty(); }
+  bool is_sink(NodeId n) const { return succs(n).empty(); }
+
+  /// Looks a node up by name.
+  std::optional<NodeId> find_node(std::string_view node_name) const;
+
+  /// Looks a color up by name.
+  std::optional<ColorId> find_color(std::string_view color_name) const;
+
+  /// True if there is an edge from → to.
+  bool has_edge(NodeId from, NodeId to) const;
+
+  // ------------------------------------------------------------------
+  // Validation
+  // ------------------------------------------------------------------
+
+  /// True iff the graph is acyclic.
+  bool is_dag() const;
+
+  /// Throws std::runtime_error if the graph contains a cycle.
+  void validate() const;
+
+  /// One topological order (Kahn's algorithm, FIFO over node id so the
+  /// order is deterministic). Throws if the graph has a cycle.
+  std::vector<NodeId> topo_order() const;
+
+ private:
+  std::string name_ = "dfg";
+  std::vector<ColorId> colors_;
+  std::vector<std::string> node_names_;
+  std::vector<std::vector<NodeId>> preds_;
+  std::vector<std::vector<NodeId>> succs_;
+  std::vector<std::string> color_names_;
+  std::unordered_map<std::string, ColorId> color_index_;
+  std::unordered_map<std::string, NodeId> node_index_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace mpsched

@@ -1,0 +1,48 @@
+#include "graph/dot.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "graph/levels.hpp"
+
+namespace mpsched {
+
+std::string to_dot(const Dfg& dfg, const DotOptions& options) {
+  static const char* kPalette[] = {"#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f",
+                                   "#cab2d6", "#ffff99", "#1f78b4", "#33a02c"};
+  constexpr std::size_t kPaletteSize = sizeof(kPalette) / sizeof(kPalette[0]);
+
+  const Levels lv = compute_levels(dfg);
+
+  std::ostringstream os;
+  os << "digraph \"" << dfg.name() << "\" {\n";
+  os << "  rankdir=TB;\n  node [style=filled, shape=circle, fontsize=10];\n";
+
+  for (NodeId v = 0; v < dfg.node_count(); ++v) {
+    os << "  \"" << dfg.node_name(v) << "\" [fillcolor=\""
+       << kPalette[dfg.color(v) % kPaletteSize] << "\"";
+    if (options.show_levels) {
+      os << ", xlabel=\"" << lv.asap[v] << '/' << lv.alap[v] << '/' << lv.height[v] << "\"";
+    }
+    os << "];\n";
+  }
+
+  if (options.rank_by_asap) {
+    std::map<int, std::vector<NodeId>> layers;
+    for (NodeId v = 0; v < dfg.node_count(); ++v) layers[lv.asap[v]].push_back(v);
+    for (const auto& [level, nodes] : layers) {
+      os << "  { rank=same;";
+      for (const NodeId v : nodes) os << " \"" << dfg.node_name(v) << "\";";
+      os << " }\n";
+    }
+  }
+
+  for (NodeId v = 0; v < dfg.node_count(); ++v)
+    for (const NodeId s : dfg.succs(v))
+      os << "  \"" << dfg.node_name(v) << "\" -> \"" << dfg.node_name(s) << "\";\n";
+
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mpsched

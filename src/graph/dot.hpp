@@ -1,0 +1,22 @@
+// Graphviz DOT export for DFGs, used to regenerate the paper's Figure 2
+// (the 3DFT data-flow graph) and Figure 4 (the small running example).
+#pragma once
+
+#include <string>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+struct DotOptions {
+  /// Rank nodes by ASAP level (horizontal layers like the paper figures).
+  bool rank_by_asap = true;
+  /// Annotate each node with "asap/alap/height".
+  bool show_levels = false;
+};
+
+/// Renders the graph in Graphviz DOT syntax. Node fill colors cycle
+/// through a small palette indexed by ColorId.
+std::string to_dot(const Dfg& dfg, const DotOptions& options = {});
+
+}  // namespace mpsched

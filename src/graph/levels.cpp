@@ -1,0 +1,45 @@
+#include "graph/levels.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace mpsched {
+
+Levels compute_levels(const Dfg& dfg) {
+  const std::size_t n = dfg.node_count();
+  const std::vector<NodeId> order = dfg.topo_order();
+
+  Levels lv;
+  lv.asap.assign(n, 0);
+  lv.alap.assign(n, 0);
+  lv.height.assign(n, 1);
+
+  // ASAP: forward pass over a topological order (Eq. 1).
+  for (const NodeId v : order) {
+    int a = 0;
+    for (const NodeId p : dfg.preds(v)) a = std::max(a, lv.asap[p] + 1);
+    lv.asap[v] = a;
+    lv.asap_max = std::max(lv.asap_max, a);
+  }
+
+  // ALAP (Eq. 2) and Height (Eq. 3): backward pass.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    if (dfg.is_sink(v)) {
+      lv.alap[v] = lv.asap_max;
+      lv.height[v] = 1;
+      continue;
+    }
+    int alap = std::numeric_limits<int>::max();
+    int height = 0;
+    for (const NodeId s : dfg.succs(v)) {
+      alap = std::min(alap, lv.alap[s] - 1);
+      height = std::max(height, lv.height[s] + 1);
+    }
+    lv.alap[v] = alap;
+    lv.height[v] = height;
+  }
+  return lv;
+}
+
+}  // namespace mpsched

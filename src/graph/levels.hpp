@@ -1,0 +1,37 @@
+// Level attributes of DFG nodes: ASAP, ALAP and Height, exactly as
+// defined by the paper's Equations (1), (2) and (3), plus the derived
+// mobility (scheduling slack) used by the force-directed baseline.
+//
+// Conventions copied from the paper:
+//  * ASAP(n) = 0 for sources, else max over predecessors of ASAP+1.
+//  * ALAP(n) = ASAPmax for sinks, else min over successors of ALAP-1,
+//    where ASAPmax = max_n ASAP(n).
+//  * Height(n) = 1 for sinks (note: one, not zero), else max over
+//    successors of Height+1. A node's height is therefore the number of
+//    nodes on the longest chain it starts.
+#pragma once
+
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+struct Levels {
+  std::vector<int> asap;
+  std::vector<int> alap;
+  std::vector<int> height;
+  int asap_max = 0;
+
+  /// Scheduling slack ALAP(n) - ASAP(n); zero on the critical path.
+  int mobility(NodeId n) const { return alap[n] - asap[n]; }
+
+  /// Length of the critical path in nodes (= minimum possible schedule
+  /// length in cycles for unit-latency operations).
+  int critical_path_length() const { return asap_max + 1; }
+};
+
+/// Computes all level attributes in O(V + E). Throws if the graph is cyclic.
+Levels compute_levels(const Dfg& dfg);
+
+}  // namespace mpsched

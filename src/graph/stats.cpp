@@ -1,0 +1,45 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/levels.hpp"
+#include "util/table.hpp"
+
+namespace mpsched {
+
+DfgStats compute_stats(const Dfg& dfg) {
+  DfgStats st;
+  st.nodes = dfg.node_count();
+  st.edges = dfg.edge_count();
+  st.color_histogram.assign(dfg.color_count(), 0);
+
+  const Levels lv = compute_levels(dfg);
+  st.critical_path = lv.critical_path_length();
+  st.level_width.assign(static_cast<std::size_t>(lv.asap_max) + 1, 0);
+
+  for (NodeId v = 0; v < dfg.node_count(); ++v) {
+    if (dfg.is_source(v)) ++st.sources;
+    if (dfg.is_sink(v)) ++st.sinks;
+    ++st.color_histogram[dfg.color(v)];
+    ++st.level_width[static_cast<std::size_t>(lv.asap[v])];
+    st.max_in_degree = std::max(st.max_in_degree, dfg.preds(v).size());
+    st.max_out_degree = std::max(st.max_out_degree, dfg.succs(v).size());
+  }
+  st.max_level_width = *std::max_element(st.level_width.begin(), st.level_width.end());
+  return st;
+}
+
+std::string DfgStats::to_string(const Dfg& dfg) const {
+  std::ostringstream os;
+  os << "DFG '" << dfg.name() << "': " << nodes << " nodes, " << edges << " edges, "
+     << sources << " sources, " << sinks << " sinks, critical path " << critical_path
+     << ", max width " << max_level_width << '\n';
+  TextTable t({"color", "count"});
+  for (ColorId c = 0; c < color_histogram.size(); ++c)
+    t.add(dfg.color_name(c), color_histogram[c]);
+  os << t.to_string();
+  return os.str();
+}
+
+}  // namespace mpsched

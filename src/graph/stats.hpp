@@ -1,0 +1,31 @@
+// Summary statistics of a DFG: color histogram, per-level width,
+// degree extrema. Used by the workload generators' self-checks and the
+// figure-reproduction harnesses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+struct DfgStats {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  std::size_t sources = 0;
+  std::size_t sinks = 0;
+  int critical_path = 0;             ///< nodes on the longest chain
+  std::size_t max_level_width = 0;   ///< widest ASAP level
+  std::vector<std::size_t> color_histogram;  ///< indexed by ColorId
+  std::vector<std::size_t> level_width;      ///< indexed by ASAP level
+  std::size_t max_in_degree = 0;
+  std::size_t max_out_degree = 0;
+
+  /// Human-readable one-table summary.
+  std::string to_string(const Dfg& dfg) const;
+};
+
+DfgStats compute_stats(const Dfg& dfg);
+
+}  // namespace mpsched

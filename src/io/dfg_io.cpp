@@ -1,0 +1,79 @@
+#include "io/dfg_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace mpsched {
+
+std::string dfg_to_text(const Dfg& dfg) {
+  std::ostringstream os;
+  os << "dfg " << dfg.name() << '\n';
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    os << "node " << dfg.node_name(n) << ' ' << dfg.color_name(dfg.color(n)) << '\n';
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    for (const NodeId s : dfg.succs(n))
+      os << "edge " << dfg.node_name(n) << ' ' << dfg.node_name(s) << '\n';
+  return os.str();
+}
+
+void save_dfg(const Dfg& dfg, const std::string& path) {
+  std::ofstream out(path);
+  MPSCHED_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << dfg_to_text(dfg);
+  MPSCHED_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+Dfg dfg_from_text(const std::string& text) {
+  Dfg dfg;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_header = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    const std::vector<std::string> tokens = split_ws(stripped);
+    const std::string& kind = tokens.front();
+    auto fail = [&line_no](const std::string& msg) {
+      throw std::invalid_argument("dfg parse error at line " + std::to_string(line_no) + ": " +
+                                  msg);
+    };
+
+    if (kind == "dfg") {
+      if (saw_header) fail("duplicate 'dfg' header");
+      if (tokens.size() != 2) fail("expected: dfg <name>");
+      dfg.set_name(tokens[1]);
+      saw_header = true;
+    } else if (kind == "node") {
+      if (tokens.size() != 3) fail("expected: node <name> <color>");
+      if (dfg.find_node(tokens[1])) fail("duplicate node '" + tokens[1] + "'");
+      dfg.add_node(dfg.intern_color(tokens[2]), tokens[1]);
+    } else if (kind == "edge") {
+      if (tokens.size() != 3) fail("expected: edge <from> <to>");
+      const auto from = dfg.find_node(tokens[1]);
+      const auto to = dfg.find_node(tokens[2]);
+      if (!from) fail("unknown node '" + tokens[1] + "'");
+      if (!to) fail("unknown node '" + tokens[2] + "'");
+      if (dfg.has_edge(*from, *to)) fail("duplicate edge");
+      dfg.add_edge(*from, *to);
+    } else {
+      fail("unknown directive '" + kind + "'");
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg load_dfg(const std::string& path) {
+  std::ifstream in(path);
+  MPSCHED_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return dfg_from_text(buffer.str());
+}
+
+}  // namespace mpsched

@@ -1,0 +1,29 @@
+// Plain-text DFG serialization.
+//
+// Format (line oriented, '#' comments):
+//   dfg <name>
+//   node <node-name> <color-name>
+//   edge <from-name> <to-name>
+//
+// Node order in the file defines node ids, and edge order defines
+// adjacency order — both load-bearing for the paper-faithful stable
+// tie-breaking — so save → load round-trips bit-exactly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+/// Serializes the graph in .dfg text form.
+std::string dfg_to_text(const Dfg& dfg);
+void save_dfg(const Dfg& dfg, const std::string& path);
+
+/// Parses .dfg text; throws std::invalid_argument with a line number on
+/// malformed input.
+Dfg dfg_from_text(const std::string& text);
+Dfg load_dfg(const std::string& path);
+
+}  // namespace mpsched

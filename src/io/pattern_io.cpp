@@ -1,0 +1,44 @@
+#include "io/pattern_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "pattern/parse.hpp"
+#include "util/strings.hpp"
+
+namespace mpsched {
+
+std::string pattern_set_to_text(const Dfg& dfg, const PatternSet& set) {
+  std::ostringstream os;
+  for (const Pattern& p : set) os << p.to_string(dfg) << '\n';
+  return os.str();
+}
+
+void save_pattern_set(const Dfg& dfg, const PatternSet& set, const std::string& path) {
+  std::ofstream out(path);
+  MPSCHED_CHECK(out.good(), "cannot open '" + path + "' for writing");
+  out << pattern_set_to_text(dfg, set);
+  MPSCHED_CHECK(out.good(), "write to '" + path + "' failed");
+}
+
+PatternSet pattern_set_from_text(const Dfg& dfg, const std::string& text) {
+  PatternSet set;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view stripped = trim(line);
+    if (stripped.empty() || stripped.front() == '#') continue;
+    set.insert(parse_pattern(dfg, stripped));
+  }
+  return set;
+}
+
+PatternSet load_pattern_set(const Dfg& dfg, const std::string& path) {
+  std::ifstream in(path);
+  MPSCHED_CHECK(in.good(), "cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return pattern_set_from_text(dfg, buffer.str());
+}
+
+}  // namespace mpsched

@@ -1,0 +1,17 @@
+// Pattern-set serialization: one pattern per line in the textual syntax of
+// pattern/parse.hpp ("aabcc" or "add+mul+mul"). '#' starts a comment.
+#pragma once
+
+#include <string>
+
+#include "pattern/pattern_set.hpp"
+
+namespace mpsched {
+
+std::string pattern_set_to_text(const Dfg& dfg, const PatternSet& set);
+void save_pattern_set(const Dfg& dfg, const PatternSet& set, const std::string& path);
+
+PatternSet pattern_set_from_text(const Dfg& dfg, const std::string& text);
+PatternSet load_pattern_set(const Dfg& dfg, const std::string& path);
+
+}  // namespace mpsched

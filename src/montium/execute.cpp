@@ -1,0 +1,126 @@
+#include "montium/execute.hpp"
+
+#include <sstream>
+
+namespace mpsched {
+
+ExecutionStats execute_on_tile(const Dfg& dfg, const Schedule& schedule,
+                               const Allocation& allocation, const TileConfig& tile,
+                               const PatternSet* patterns) {
+  ExecutionStats stats;
+  stats.cycles = allocation.alu_of.size();
+
+  // Value availability: produced[n] = cycle after which n's result exists.
+  std::vector<int> produced(dfg.node_count(), -1);
+  std::vector<int> alu_function(tile.alu_count, -1);
+  PatternSet patterns_seen;
+
+  for (std::size_t c = 0; c < allocation.alu_of.size(); ++c) {
+    const auto& row = allocation.alu_of[c];
+    if (row.size() != tile.alu_count) {
+      stats.error = "cycle " + std::to_string(c) + " allocation row does not match ALU count";
+      return stats;
+    }
+    std::vector<ColorId> cycle_colors;
+    std::vector<bool> executed_here(dfg.node_count(), false);
+    for (std::size_t a = 0; a < row.size(); ++a) {
+      const NodeId n = row[a];
+      if (n == kInvalidNode) continue;  // idle ALU, keeps configuration
+      if (executed_here[n]) {
+        stats.error = "node '" + dfg.node_name(n) + "' appears on two ALUs in cycle " +
+                      std::to_string(c);
+        return stats;
+      }
+      executed_here[n] = true;
+      if (produced[n] != -1) {
+        stats.error = "node '" + dfg.node_name(n) + "' executes twice (cycles " +
+                      std::to_string(produced[n]) + " and " + std::to_string(c) + ")";
+        return stats;
+      }
+      if (schedule.cycle_of(n) != static_cast<int>(c)) {
+        stats.error = "node '" + dfg.node_name(n) + "' allocated in cycle " +
+                      std::to_string(c) + " but scheduled in cycle " +
+                      std::to_string(schedule.cycle_of(n));
+        return stats;
+      }
+      // Operand timing: every predecessor value must exist already.
+      for (const NodeId p : dfg.preds(n)) {
+        if (produced[p] == -1 || produced[p] >= static_cast<int>(c)) {
+          stats.error = "operand '" + dfg.node_name(p) + "' of '" + dfg.node_name(n) +
+                        "' not available at cycle " + std::to_string(c);
+          return stats;
+        }
+      }
+      // Function match / reconfiguration accounting.
+      const int fn = static_cast<int>(dfg.color(n));
+      if (alu_function[a] != fn) {
+        alu_function[a] = fn;
+        ++stats.reconfigurations;
+      }
+      ++stats.operations;
+      cycle_colors.push_back(dfg.color(n));
+    }
+    for (const NodeId n : row)
+      if (n != kInvalidNode) produced[n] = static_cast<int>(c);
+    if (!cycle_colors.empty()) patterns_seen.insert(Pattern(std::move(cycle_colors)));
+  }
+
+  // Completeness: the schedule must have run every node.
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    if (produced[n] == -1) {
+      stats.error = "node '" + dfg.node_name(n) + "' never executed";
+      return stats;
+    }
+  }
+
+  // Configuration-store accounting: prefer the recorded given-pattern
+  // indices (one store entry per *given* pattern used); fall back to the
+  // induced per-cycle color multisets when no bookkeeping exists.
+  bool counted_given = false;
+  if (patterns != nullptr) {
+    std::vector<bool> used(patterns->size(), false);
+    counted_given = true;
+    for (std::size_t c = 0; c < allocation.alu_of.size() && counted_given; ++c) {
+      const auto idx = schedule.cycle_pattern(static_cast<int>(c));
+      if (!idx.has_value()) {
+        counted_given = false;  // incomplete bookkeeping; fall back
+      } else if (*idx < used.size()) {
+        used[*idx] = true;
+      }
+    }
+    if (counted_given) {
+      stats.distinct_patterns = 0;
+      for (const bool u : used)
+        if (u) ++stats.distinct_patterns;
+    }
+  }
+  if (!counted_given) stats.distinct_patterns = patterns_seen.size();
+  if (stats.distinct_patterns > tile.config_store_entries) {
+    stats.error = "schedule uses " + std::to_string(stats.distinct_patterns) +
+                  " distinct patterns; the configuration store holds " +
+                  std::to_string(tile.config_store_entries);
+    return stats;
+  }
+
+  stats.energy = tile.op_energy * static_cast<double>(stats.operations) +
+                 tile.reconfig_energy * static_cast<double>(stats.reconfigurations);
+  stats.ok = true;
+  return stats;
+}
+
+ExecutionStats run_schedule(const Dfg& dfg, const Schedule& schedule, const TileConfig& tile,
+                            const PatternSet* patterns) {
+  const Allocation allocation = allocate_alus(dfg, schedule, tile);
+  return execute_on_tile(dfg, schedule, allocation, tile, patterns);
+}
+
+std::string ExecutionStats::to_string() const {
+  std::ostringstream os;
+  if (!ok) return "execution FAILED: " + error;
+  os << "executed " << operations << " ops in " << cycles << " cycles, "
+     << reconfigurations << " reconfigurations, " << distinct_patterns
+     << " config-store entries, energy " << energy;
+  return os.str();
+}
+
+}  // namespace mpsched

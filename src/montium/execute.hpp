@@ -1,0 +1,50 @@
+// Montium tile executor — a behavioural simulator that runs a schedule +
+// allocation on the tile model and verifies, cycle by cycle, that the
+// hardware constraints hold. This substitutes for the physical Montium
+// (DESIGN.md §4): the algorithms only interact with resource slots and
+// the configuration store, both of which are enforced (and measured) here.
+//
+// The executor checks:
+//   * operand availability — every operand value was produced in an
+//     earlier cycle (dependency timing, as the register files require),
+//   * ALU exclusivity — one operation per ALU per cycle,
+//   * function match — the ALU is configured with the operation's color,
+//   * configuration-store pressure — distinct patterns used ≤ store size.
+// and reports cycle count, reconfigurations and an energy estimate.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "montium/allocate.hpp"
+#include "montium/tile.hpp"
+#include "sched/schedule.hpp"
+
+namespace mpsched {
+
+struct ExecutionStats {
+  bool ok = false;
+  std::string error;              ///< first violated constraint, if any
+  std::size_t cycles = 0;
+  std::size_t operations = 0;
+  std::size_t reconfigurations = 0;
+  std::size_t distinct_patterns = 0;  ///< configuration-store entries used
+  double energy = 0.0;            ///< op_energy·ops + reconfig_energy·reconfigs
+
+  std::string to_string() const;
+};
+
+/// Runs `schedule`/`allocation` against the tile model. When `patterns`
+/// is given and the schedule recorded per-cycle pattern choices, the
+/// configuration-store usage counts the distinct *given* patterns used
+/// (a cycle running a subpattern occupies that pattern's store entry with
+/// idle dummies); otherwise the distinct induced color multisets count.
+ExecutionStats execute_on_tile(const Dfg& dfg, const Schedule& schedule,
+                               const Allocation& allocation, const TileConfig& tile,
+                               const PatternSet* patterns = nullptr);
+
+/// Convenience: allocate then execute.
+ExecutionStats run_schedule(const Dfg& dfg, const Schedule& schedule, const TileConfig& tile,
+                            const PatternSet* patterns = nullptr);
+
+}  // namespace mpsched

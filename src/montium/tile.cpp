@@ -1,0 +1,25 @@
+#include "montium/tile.hpp"
+
+namespace mpsched {
+
+TileValidation validate_for_tile(const PatternSet& patterns, const TileConfig& tile) {
+  TileValidation v;
+  if (patterns.size() > tile.config_store_entries) {
+    v.ok = false;
+    v.error = "pattern set has " + std::to_string(patterns.size()) +
+              " entries; the tile's configuration store holds only " +
+              std::to_string(tile.config_store_entries);
+    return v;
+  }
+  for (const Pattern& p : patterns) {
+    if (p.size() > tile.alu_count) {
+      v.ok = false;
+      v.error = "a pattern uses " + std::to_string(p.size()) + " slots; the tile has " +
+                std::to_string(tile.alu_count) + " ALUs";
+      return v;
+    }
+  }
+  return v;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,43 @@
+// Montium tile model (paper §1, Fig. 1; Heysters et al. [2]).
+//
+// One tile has five reconfigurable ALUs fed by local memories/registers.
+// The property the scheduling algorithms care about:
+//   * per clock cycle the tile executes one *pattern* — a multiset of at
+//     most `alu_count` ALU functions;
+//   * for one application, at most `config_store_entries` distinct
+//     patterns may be used (the paper says "although the five ALUs can
+//     execute thousands of different possible patterns, ... it is only
+//     allowed to use up to 32 of them").
+//
+// This header is the architectural source of truth; schedulers take C and
+// Pdef from a TileConfig so examples/benches can model other tile shapes.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "pattern/pattern_set.hpp"
+
+namespace mpsched {
+
+struct TileConfig {
+  std::size_t alu_count = 5;             ///< C
+  std::size_t config_store_entries = 32; ///< hard cap on distinct patterns
+
+  /// Relative energy of executing one operation on an ALU.
+  double op_energy = 1.0;
+  /// Relative energy of reconfiguring one ALU to another function — the
+  /// cost the pattern-count restriction exists to amortize.
+  double reconfig_energy = 4.0;
+};
+
+/// Checks a pattern set against the tile: every pattern must fit the ALU
+/// count and the set must fit the configuration store.
+struct TileValidation {
+  bool ok = true;
+  std::string error;
+};
+
+TileValidation validate_for_tile(const PatternSet& patterns, const TileConfig& tile);
+
+}  // namespace mpsched

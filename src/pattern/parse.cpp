@@ -1,0 +1,67 @@
+#include "pattern/parse.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace mpsched {
+
+Pattern parse_pattern(const Dfg& dfg, std::string_view text) {
+  text = trim(text);
+  // Tolerate the paper's brace style: "{a,b,c,b,c}".
+  if (!text.empty() && text.front() == '{' && text.back() == '}')
+    text = trim(text.substr(1, text.size() - 2));
+  MPSCHED_REQUIRE(!text.empty(), "empty pattern text");
+
+  std::vector<ColorId> colors;
+  if (text.find('+') != std::string_view::npos || text.find(',') != std::string_view::npos) {
+    // Multi-character color names, or the paper's comma style "a,b,c".
+    const char delim = text.find('+') != std::string_view::npos ? '+' : ',';
+    for (const std::string& tok : split(text, delim)) {
+      const std::string_view name = trim(tok);
+      MPSCHED_REQUIRE(!name.empty(), "empty color in pattern '" + std::string(text) + "'");
+      const auto c = dfg.find_color(name);
+      MPSCHED_REQUIRE(c.has_value(), "unknown color '" + std::string(name) + "'");
+      colors.push_back(*c);
+    }
+  } else {
+    // One character per color: "aabcc".
+    for (const char ch : text) {
+      const auto c = dfg.find_color(std::string_view(&ch, 1));
+      MPSCHED_REQUIRE(c.has_value(), std::string("unknown color '") + ch + "'");
+      colors.push_back(*c);
+    }
+  }
+  return Pattern(std::move(colors));
+}
+
+PatternSet parse_pattern_set(const Dfg& dfg, std::string_view text) {
+  PatternSet set;
+  // Split on whitespace outside braces, or on commas *between* brace groups.
+  // Pragmatic approach: if braces are present, split on "}," boundaries;
+  // otherwise split on whitespace/commas directly.
+  std::vector<std::string> tokens;
+  if (text.find('{') != std::string_view::npos) {
+    std::string current;
+    int depth = 0;
+    for (const char ch : text) {
+      if (ch == '{') ++depth;
+      if (ch == '}') --depth;
+      if ((ch == ',' || std::isspace(static_cast<unsigned char>(ch))) && depth == 0) {
+        if (!trim(current).empty()) tokens.push_back(current);
+        current.clear();
+      } else {
+        current += ch;
+      }
+    }
+    if (!trim(current).empty()) tokens.push_back(current);
+  } else {
+    for (const std::string& part : split_ws(text))
+      for (const std::string& tok : split(part, ','))
+        if (!trim(tok).empty()) tokens.emplace_back(tok);
+  }
+  for (const std::string& tok : tokens) set.insert(parse_pattern(dfg, tok));
+  return set;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,21 @@
+// Textual pattern syntax.
+//
+// Single-character colors (the paper's style): "aabcc" = {a,a,b,c,c}.
+// Multi-character colors: "add+add+mul".
+// Pattern sets: comma- or whitespace-separated patterns: "aabcc, aaacc".
+#pragma once
+
+#include <string_view>
+
+#include "pattern/pattern_set.hpp"
+
+namespace mpsched {
+
+/// Parses one pattern against the graph's existing color alphabet.
+/// Throws std::invalid_argument if a color is unknown to `dfg`.
+Pattern parse_pattern(const Dfg& dfg, std::string_view text);
+
+/// Parses a comma/whitespace separated list of patterns.
+PatternSet parse_pattern_set(const Dfg& dfg, std::string_view text);
+
+}  // namespace mpsched

@@ -1,0 +1,78 @@
+#include "pattern/pattern.hpp"
+
+#include <algorithm>
+
+namespace mpsched {
+
+Pattern::Pattern(std::vector<ColorId> colors) : colors_(std::move(colors)) {
+  std::sort(colors_.begin(), colors_.end());
+}
+
+std::size_t Pattern::count(ColorId c) const {
+  const auto [lo, hi] = std::equal_range(colors_.begin(), colors_.end(), c);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+std::vector<ColorId> Pattern::distinct_colors() const {
+  std::vector<ColorId> out(colors_);
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+bool Pattern::is_subpattern_of(const Pattern& other) const {
+  // Merge walk over two sorted multisets.
+  std::size_t j = 0;
+  for (const ColorId c : colors_) {
+    while (j < other.colors_.size() && other.colors_[j] < c) ++j;
+    if (j >= other.colors_.size() || other.colors_[j] != c) return false;
+    ++j;
+  }
+  return true;
+}
+
+Pattern Pattern::with_color(ColorId c) const {
+  std::vector<ColorId> cs(colors_);
+  cs.insert(std::upper_bound(cs.begin(), cs.end(), c), c);
+  Pattern p;
+  p.colors_ = std::move(cs);
+  return p;
+}
+
+std::vector<std::uint32_t> Pattern::slot_counts(std::size_t n_colors) const {
+  std::vector<std::uint32_t> counts(n_colors, 0);
+  for (const ColorId c : colors_) {
+    MPSCHED_REQUIRE(c < n_colors, "pattern color out of range for this graph");
+    ++counts[c];
+  }
+  return counts;
+}
+
+std::string Pattern::to_string(const Dfg& dfg) const {
+  if (colors_.empty()) return "{}";
+  bool single_char = true;
+  for (const ColorId c : colors_)
+    if (dfg.color_name(c).size() != 1) single_char = false;
+  std::string out;
+  for (std::size_t i = 0; i < colors_.size(); ++i) {
+    if (!single_char && i) out += '+';
+    out += dfg.color_name(colors_[i]);
+  }
+  return out;
+}
+
+bool Pattern::operator<(const Pattern& other) const {
+  if (colors_.size() != other.colors_.size()) return colors_.size() < other.colors_.size();
+  return colors_ < other.colors_;
+}
+
+std::size_t Pattern::hash() const noexcept {
+  // FNV-1a over the canonical color sequence.
+  std::size_t h = 1469598103934665603ULL;
+  for (const ColorId c : colors_) {
+    h ^= static_cast<std::size_t>(c) + 1;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,40 @@
+#include "pattern/random.hpp"
+
+namespace mpsched {
+
+Pattern random_pattern(const Dfg& dfg, Rng& rng, std::size_t capacity) {
+  MPSCHED_REQUIRE(dfg.color_count() > 0, "graph has no colors");
+  MPSCHED_REQUIRE(capacity > 0, "pattern capacity must be positive");
+  std::vector<ColorId> colors(capacity);
+  for (auto& c : colors) c = static_cast<ColorId>(rng.below(dfg.color_count()));
+  return Pattern(std::move(colors));
+}
+
+PatternSet random_pattern_set(const Dfg& dfg, Rng& rng, const RandomPatternOptions& options) {
+  MPSCHED_REQUIRE(options.count > 0, "pattern count must be positive");
+  std::vector<ColorId> all_colors(dfg.color_count());
+  for (ColorId c = 0; c < dfg.color_count(); ++c) all_colors[c] = c;
+
+  MPSCHED_CHECK(!options.ensure_coverage ||
+                    dfg.color_count() <= options.capacity * options.count,
+                "cannot cover " + std::to_string(dfg.color_count()) + " colors with " +
+                    std::to_string(options.count) + " patterns of capacity " +
+                    std::to_string(options.capacity));
+
+  for (std::size_t attempt = 0; attempt < options.max_attempts; ++attempt) {
+    PatternSet set;
+    while (set.size() < options.count) {
+      // Duplicate draws are simply re-drawn; with a tiny color alphabet and
+      // small capacity, distinct multisets can run out, so cap the retries.
+      bool inserted = false;
+      for (std::size_t tries = 0; tries < options.max_attempts && !inserted; ++tries)
+        inserted = set.insert(random_pattern(dfg, rng, options.capacity));
+      MPSCHED_CHECK(inserted, "not enough distinct patterns exist for the requested count");
+    }
+    if (!options.ensure_coverage || set.covers(all_colors)) return set;
+  }
+  MPSCHED_CHECK(false, "could not draw a color-covering random pattern set");
+  return {};  // unreachable
+}
+
+}  // namespace mpsched

@@ -1,0 +1,258 @@
+#include "sched/force_directed.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+
+#include "graph/levels.hpp"
+
+namespace mpsched {
+
+namespace {
+
+/// Mutable time frames [earliest, latest] per node under a latency budget.
+struct Frames {
+  std::vector<int> earliest;
+  std::vector<int> latest;
+};
+
+Frames initial_frames(const Dfg& dfg, const Levels& levels, std::size_t latency) {
+  const int slack = static_cast<int>(latency) - 1 - levels.asap_max;
+  MPSCHED_REQUIRE(slack >= 0, "latency below critical path");
+  Frames fr;
+  fr.earliest = levels.asap;
+  fr.latest.resize(dfg.node_count());
+  for (NodeId n = 0; n < dfg.node_count(); ++n) fr.latest[n] = levels.alap[n] + slack;
+  return fr;
+}
+
+/// Distribution graph DG[cycle] assuming each unfixed node is uniformly
+/// distributed over its frame; fixed nodes contribute 1.
+///
+/// Classic Paulin-Knight keeps one graph per function-unit *type*; the
+/// Montium's ALUs are homogeneous and reconfigurable (any ALU can take any
+/// color), so the scarce resource is total per-cycle concurrency and the
+/// force is computed against the aggregate distribution.
+std::vector<double> distribution_graph(const Dfg& dfg, const Frames& fr,
+                                       std::size_t latency) {
+  std::vector<double> dg(latency, 0.0);
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    const int width = fr.latest[n] - fr.earliest[n] + 1;
+    const double p = 1.0 / static_cast<double>(width);
+    for (int t = fr.earliest[n]; t <= fr.latest[n]; ++t)
+      dg[static_cast<std::size_t>(t)] += p;
+  }
+  return dg;
+}
+
+/// Self force of fixing node n at cycle t (standard Paulin-Knight form):
+/// Σ_τ DG(τ)·(p'(τ) − p(τ)) over the node's current frame.
+double self_force(const std::vector<double>& dg, const Frames& fr, NodeId n, int t) {
+  const int lo = fr.earliest[n];
+  const int hi = fr.latest[n];
+  const double p = 1.0 / static_cast<double>(hi - lo + 1);
+  double force = 0.0;
+  for (int tau = lo; tau <= hi; ++tau) {
+    const double delta = (tau == t ? 1.0 : 0.0) - p;
+    force += dg[static_cast<std::size_t>(tau)] * delta;
+  }
+  return force;
+}
+
+/// Tightens frames after pinning node n to cycle t; propagates along the
+/// DAG (earliest forward, latest backward) using a precomputed topological
+/// order. Returns false if infeasible.
+bool propagate(const Dfg& dfg, const std::vector<NodeId>& order, Frames& fr, NodeId n,
+               int t) {
+  fr.earliest[n] = fr.latest[n] = t;
+  // Forward: successors cannot start before pred+1.
+  for (const NodeId order_node : order) {
+    for (const NodeId s : dfg.succs(order_node))
+      fr.earliest[s] = std::max(fr.earliest[s], fr.earliest[order_node] + 1);
+  }
+  // Backward: predecessors must finish before succ.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (const NodeId p : dfg.preds(*it))
+      fr.latest[p] = std::min(fr.latest[p], fr.latest[*it] - 1);
+  }
+  for (NodeId v = 0; v < dfg.node_count(); ++v)
+    if (fr.earliest[v] > fr.latest[v]) return false;
+  return true;
+}
+
+/// One force-directed pass under a latency budget. `capacity` == 0 means
+/// unbounded; otherwise each cycle accepts at most `capacity` operations
+/// (full cycles are excluded from placement candidates), and the pass
+/// fails — returns nullopt — when a forced node lands on a full cycle or a
+/// node's whole frame is full.
+std::optional<Schedule> fds_pass(const Dfg& dfg, std::size_t latency,
+                                 std::size_t capacity) {
+  Schedule schedule(dfg.node_count());
+  if (dfg.node_count() == 0) return schedule;
+
+  const Levels levels = compute_levels(dfg);
+  MPSCHED_REQUIRE(latency >= static_cast<std::size_t>(levels.critical_path_length()),
+                  "latency below critical path length");
+
+  Frames fr = initial_frames(dfg, levels, latency);
+  std::vector<bool> fixed(dfg.node_count(), false);
+  std::vector<std::size_t> used(latency, 0);
+  const std::vector<NodeId> topo = dfg.topo_order();
+  const std::size_t cap = capacity == 0 ? dfg.node_count() : capacity;
+
+  // Fixes nodes whose frame collapsed to one cycle; fails on full cycles.
+  auto fix_forced = [&]() -> bool {
+    for (NodeId n = 0; n < dfg.node_count(); ++n) {
+      if (fixed[n] || fr.earliest[n] != fr.latest[n]) continue;
+      const auto t = static_cast<std::size_t>(fr.earliest[n]);
+      if (used[t] >= cap) return false;
+      fixed[n] = true;
+      ++used[t];
+      schedule.place(n, fr.earliest[n]);
+    }
+    return true;
+  };
+  if (!fix_forced()) return std::nullopt;
+
+  while (true) {
+    bool any_unfixed = false;
+    for (NodeId n = 0; n < dfg.node_count(); ++n)
+      if (!fixed[n]) {
+        any_unfixed = true;
+        break;
+      }
+    if (!any_unfixed) break;
+
+    const std::vector<double> dg = distribution_graph(dfg, fr, latency);
+
+    // Pick the (node, cycle) with minimal self force + neighbor forces,
+    // skipping cycles that are already at capacity.
+    double best_force = std::numeric_limits<double>::infinity();
+    NodeId best_node = kInvalidNode;
+    int best_cycle = 0;
+    for (NodeId n = 0; n < dfg.node_count(); ++n) {
+      if (fixed[n]) continue;
+      for (int t = fr.earliest[n]; t <= fr.latest[n]; ++t) {
+        if (used[static_cast<std::size_t>(t)] >= cap) continue;
+        double force = self_force(dg, fr, n, t);
+        // Predecessor/successor forces: pinning n at t clips their frames.
+        for (const NodeId p : dfg.preds(n)) {
+          if (fixed[p]) continue;
+          const int new_hi = std::min(fr.latest[p], t - 1);
+          if (new_hi == fr.latest[p]) continue;
+          const double before = 1.0 / (fr.latest[p] - fr.earliest[p] + 1);
+          const double after = 1.0 / (new_hi - fr.earliest[p] + 1);
+          for (int tau = fr.earliest[p]; tau <= fr.latest[p]; ++tau) {
+            const double pr_after = tau <= new_hi ? after : 0.0;
+            force += dg[static_cast<std::size_t>(tau)] * (pr_after - before);
+          }
+        }
+        for (const NodeId s : dfg.succs(n)) {
+          if (fixed[s]) continue;
+          const int new_lo = std::max(fr.earliest[s], t + 1);
+          if (new_lo == fr.earliest[s]) continue;
+          const double before = 1.0 / (fr.latest[s] - fr.earliest[s] + 1);
+          const double after = 1.0 / (fr.latest[s] - new_lo + 1);
+          for (int tau = fr.earliest[s]; tau <= fr.latest[s]; ++tau) {
+            const double pr_after = tau >= new_lo ? after : 0.0;
+            force += dg[static_cast<std::size_t>(tau)] * (pr_after - before);
+          }
+        }
+        if (force < best_force) {
+          best_force = force;
+          best_node = n;
+          best_cycle = t;
+        }
+      }
+    }
+    if (best_node == kInvalidNode) return std::nullopt;  // every frame is full
+
+    fixed[best_node] = true;
+    ++used[static_cast<std::size_t>(best_cycle)];
+    schedule.place(best_node, best_cycle);
+    if (!propagate(dfg, topo, fr, best_node, best_cycle)) return std::nullopt;
+    if (!fix_forced()) return std::nullopt;
+  }
+  return schedule;
+}
+
+}  // namespace
+
+Schedule force_directed_schedule(const Dfg& dfg, std::size_t latency) {
+  dfg.validate();
+  // Unbounded capacity never fails for latency ≥ critical path.
+  std::optional<Schedule> schedule = fds_pass(dfg, latency, 0);
+  MPSCHED_ASSERT(schedule.has_value());
+  return *std::move(schedule);
+}
+
+FdsResult force_directed_capacity_schedule(const Dfg& dfg, const FdsOptions& options) {
+  MPSCHED_REQUIRE(options.capacity > 0, "capacity must be positive");
+  dfg.validate();
+  FdsResult result;
+  if (dfg.node_count() == 0) {
+    result.success = true;
+    return result;
+  }
+  const Levels levels = compute_levels(dfg);
+
+  // 1. Balanced placement: a capacity-aware FDS pass at the tightest
+  //    plausible latency (max of critical path and volume bound). A
+  //    strictly capped pass can paint itself into a corner (a chain's
+  //    forced node lands on a full cycle), so when it fails we fall back
+  //    to the unbounded balanced pass and repair below.
+  const std::size_t volume_bound =
+      (dfg.node_count() + options.capacity - 1) / options.capacity;
+  const std::size_t latency = std::min(
+      options.max_latency,
+      std::max(static_cast<std::size_t>(levels.critical_path_length()), volume_bound));
+  std::optional<Schedule> balanced = fds_pass(dfg, latency, options.capacity);
+  if (!balanced.has_value()) balanced = fds_pass(dfg, latency, 0);
+  MPSCHED_ASSERT(balanced.has_value());  // unbounded pass cannot fail
+
+  // 2. Capacity repair: list placement where a node may not start before
+  //    its balanced FDS cycle. When the balanced pass already fits, every
+  //    node keeps its cycle; otherwise excess work cascades forward while
+  //    preserving both dependencies and the FDS balancing intent.
+  std::vector<std::size_t> pending(dfg.node_count());
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    pending[n] = dfg.preds(n).size();
+    if (pending[n] == 0) ready.push_back(n);
+  }
+  Schedule repaired(dfg.node_count());
+  std::size_t placed = 0;
+  int cycle = 0;
+  while (placed < dfg.node_count()) {
+    // Eligible now: ready and past their balanced cycle.
+    std::vector<NodeId> eligible;
+    for (const NodeId n : ready)
+      if (balanced->cycle_of(n) <= cycle) eligible.push_back(n);
+    std::sort(eligible.begin(), eligible.end(), [&](NodeId a, NodeId b) {
+      if (balanced->cycle_of(a) != balanced->cycle_of(b))
+        return balanced->cycle_of(a) < balanced->cycle_of(b);
+      if (levels.height[a] != levels.height[b]) return levels.height[a] > levels.height[b];
+      return a < b;
+    });
+    const std::size_t take = std::min(options.capacity, eligible.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const NodeId n = eligible[i];
+      repaired.place(n, cycle);
+      ++placed;
+      ready.erase(std::find(ready.begin(), ready.end(), n));
+      for (const NodeId s : dfg.succs(n))
+        if (--pending[s] == 0) ready.push_back(s);
+    }
+    ++cycle;
+    MPSCHED_CHECK(static_cast<std::size_t>(cycle) <= options.max_latency + dfg.node_count(),
+                  "capacity repair exceeded the latency guard");
+  }
+
+  result.success = true;
+  result.schedule = std::move(repaired);
+  result.cycles = result.schedule.cycle_count();
+  result.induced = induced_patterns(dfg, result.schedule);
+  return result;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,41 @@
+// Force-directed scheduling (Paulin & Knight, cited by the paper's related
+// work §2) adapted as a second baseline.
+//
+// FDS is *time-constrained*: given a latency budget it balances operation
+// concurrency by iteratively fixing the (node, cycle) choice with minimal
+// "force" against per-color distribution graphs. To compare against the
+// resource-constrained multi-pattern scheduler we wrap it in a search:
+// starting from the critical-path latency, increase the budget until the
+// resulting schedule fits C operations per cycle (any color mix, like the
+// classic list baseline). The induced pattern count again measures the
+// configuration cost the pattern-count restriction would impose.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/schedule.hpp"
+
+namespace mpsched {
+
+struct FdsOptions {
+  std::size_t capacity = 5;      ///< per-cycle operation budget C
+  std::size_t max_latency = 4096;  ///< search guard
+};
+
+struct FdsResult {
+  bool success = false;
+  Schedule schedule;
+  std::size_t cycles = 0;    ///< latency of the accepted schedule
+  PatternSet induced;        ///< distinct per-cycle patterns used
+};
+
+/// Balances concurrency within a fixed latency budget (pure Paulin-Knight
+/// step). Always succeeds for budgets ≥ critical path; per-cycle usage is
+/// balanced but not bounded.
+Schedule force_directed_schedule(const Dfg& dfg, std::size_t latency);
+
+/// Finds the smallest latency whose force-directed schedule fits
+/// `options.capacity` operations per cycle.
+FdsResult force_directed_capacity_schedule(const Dfg& dfg, const FdsOptions& options = {});
+
+}  // namespace mpsched

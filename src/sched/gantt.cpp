@@ -1,0 +1,71 @@
+#include "sched/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace mpsched {
+
+namespace {
+
+std::string render_grid(const Dfg& dfg, const std::vector<std::vector<NodeId>>& rows,
+                        const char* row_label) {
+  const std::size_t n_cycles =
+      rows.empty() ? 0 : std::max_element(rows.begin(), rows.end(), [](auto& a, auto& b) {
+                           return a.size() < b.size();
+                         })->size();
+  // Column width: longest node name (min 3).
+  std::size_t width = 3;
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    width = std::max(width, dfg.node_name(n).size());
+
+  auto pad = [width](const std::string& s) {
+    return s.size() >= width ? s : std::string(width - s.size(), ' ') + s;
+  };
+
+  std::ostringstream os;
+  os << "cycle     |";
+  for (std::size_t c = 0; c < n_cycles; ++c) os << ' ' << pad(std::to_string(c));
+  os << '\n';
+  os << "----------+" << std::string(n_cycles * (width + 1), '-') << '\n';
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    std::ostringstream label;
+    label << row_label << ' ' << r;
+    std::string l = label.str();
+    l.resize(10, ' ');
+    os << l << '|';
+    for (std::size_t c = 0; c < n_cycles; ++c) {
+      const NodeId n = c < rows[r].size() ? rows[r][c] : kInvalidNode;
+      os << ' ' << pad(n == kInvalidNode ? "." : dfg.node_name(n));
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const Dfg& dfg, const Schedule& schedule) {
+  const auto cycles = schedule.cycles();
+  std::size_t max_width = 0;
+  for (const auto& c : cycles) max_width = std::max(max_width, c.size());
+  // rows[r][c] = r-th node of cycle c.
+  std::vector<std::vector<NodeId>> rows(max_width,
+                                        std::vector<NodeId>(cycles.size(), kInvalidNode));
+  for (std::size_t c = 0; c < cycles.size(); ++c)
+    for (std::size_t r = 0; r < cycles[c].size(); ++r) rows[r][c] = cycles[c][r];
+  return render_grid(dfg, rows, "slot");
+}
+
+std::string render_gantt(const Dfg& dfg, const Allocation& allocation) {
+  if (allocation.alu_of.empty()) return "(empty allocation)\n";
+  const std::size_t n_alus = allocation.alu_of.front().size();
+  std::vector<std::vector<NodeId>> rows(n_alus,
+                                        std::vector<NodeId>(allocation.alu_of.size(),
+                                                            kInvalidNode));
+  for (std::size_t c = 0; c < allocation.alu_of.size(); ++c)
+    for (std::size_t a = 0; a < n_alus; ++a) rows[a][c] = allocation.alu_of[c][a];
+  return render_grid(dfg, rows, "ALU");
+}
+
+}  // namespace mpsched

@@ -1,0 +1,28 @@
+// ASCII Gantt rendering of schedules — one row per resource slot, one
+// column per cycle — for examples and debugging output.
+//
+//   cycle    |   0    1    2
+//   ---------+---------------
+//   slot 0   |  a2   c10  a24
+//   slot 1   |  a4   c11    .
+//
+// Rendering can follow either the raw schedule (slot = arrival order
+// within the cycle) or an Allocation (slot = physical ALU), in which case
+// idle ALUs show '.' and the function column reveals reconfigurations.
+#pragma once
+
+#include <string>
+
+#include "graph/dfg.hpp"
+#include "montium/allocate.hpp"
+#include "sched/schedule.hpp"
+
+namespace mpsched {
+
+/// Renders by cycle grouping; rows = position within the cycle.
+std::string render_gantt(const Dfg& dfg, const Schedule& schedule);
+
+/// Renders by physical ALU using an allocation.
+std::string render_gantt(const Dfg& dfg, const Allocation& allocation);
+
+}  // namespace mpsched

@@ -1,0 +1,55 @@
+#include "sched/list_schedule.hpp"
+
+#include <algorithm>
+
+#include "graph/closure.hpp"
+#include "graph/levels.hpp"
+
+namespace mpsched {
+
+ListScheduleResult list_schedule(const Dfg& dfg, const ListScheduleOptions& options) {
+  MPSCHED_REQUIRE(options.capacity > 0, "capacity must be positive");
+  dfg.validate();
+
+  ListScheduleResult result;
+  result.schedule = Schedule(dfg.node_count());
+  if (dfg.node_count() == 0) return result;
+
+  const Levels levels = compute_levels(dfg);
+
+  std::vector<std::size_t> pending(dfg.node_count());
+  std::vector<NodeId> ready;
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    pending[n] = dfg.preds(n).size();
+    if (pending[n] == 0) ready.push_back(n);
+  }
+
+  std::size_t scheduled = 0;
+  int cycle = 0;
+  while (scheduled < dfg.node_count()) {
+    MPSCHED_ASSERT(!ready.empty());
+    // Height-first priority, node id as deterministic tie-break.
+    std::sort(ready.begin(), ready.end(), [&levels](NodeId a, NodeId b) {
+      if (levels.height[a] != levels.height[b]) return levels.height[a] > levels.height[b];
+      return a < b;
+    });
+    const std::size_t take = std::min(options.capacity, ready.size());
+    std::vector<NodeId> chosen(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(take));
+    ready.erase(ready.begin(), ready.begin() + static_cast<std::ptrdiff_t>(take));
+
+    for (const NodeId n : chosen) {
+      result.schedule.place(n, cycle);
+      ++scheduled;
+    }
+    for (const NodeId n : chosen)
+      for (const NodeId s : dfg.succs(n))
+        if (--pending[s] == 0) ready.push_back(s);
+    ++cycle;
+  }
+
+  result.cycles = static_cast<std::size_t>(cycle);
+  result.induced = induced_patterns(dfg, result.schedule);
+  return result;
+}
+
+}  // namespace mpsched

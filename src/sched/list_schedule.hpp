@@ -1,0 +1,35 @@
+// Classic resource-constrained list scheduling (paper §2, [6][7]) — the
+// "unlimited patterns" baseline.
+//
+// Each cycle may execute up to C operations of *any* color mix (i.e. every
+// cycle is free to use a fresh pattern). This is what a conventional
+// high-level-synthesis scheduler assumes; on the Montium it is unrealistic
+// because the configuration store only holds a fixed number of patterns.
+// The baseline therefore reports, next to its cycle count, how many
+// distinct patterns the schedule *induces* — the configuration cost the
+// multi-pattern approach is designed to avoid.
+#pragma once
+
+#include <cstddef>
+
+#include "sched/schedule.hpp"
+
+namespace mpsched {
+
+struct ListScheduleOptions {
+  std::size_t capacity = 5;  ///< C parallel resources per cycle
+};
+
+struct ListScheduleResult {
+  Schedule schedule;
+  std::size_t cycles = 0;
+  /// Distinct per-cycle color multisets the schedule uses; on a Montium
+  /// this many configuration-store entries would be required.
+  PatternSet induced;
+};
+
+/// Height-priority list scheduling with a capacity of C nodes per cycle
+/// and no per-color restriction.
+ListScheduleResult list_schedule(const Dfg& dfg, const ListScheduleOptions& options = {});
+
+}  // namespace mpsched

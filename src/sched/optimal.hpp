@@ -1,0 +1,39 @@
+// Exact minimum-makespan multi-pattern scheduling via branch & bound — a
+// test oracle and ablation reference for small graphs (≤ 64 nodes, and
+// practically ≤ ~25 due to the exponential state space).
+//
+// Dominance argument used for pruning: with unit-latency operations and
+// per-cycle resources that reset every cycle, some optimal schedule fills
+// every cycle *maximally* for its chosen pattern (moving a ready node
+// earlier never hurts). The search therefore branches over (pattern,
+// maximal color-feasible subset of the ready set), memoizing the best
+// result per set of completed nodes (bitmask).
+#pragma once
+
+#include <cstdint>
+
+#include "pattern/pattern_set.hpp"
+#include "sched/schedule.hpp"
+
+namespace mpsched {
+
+struct OptimalOptions {
+  /// Abort once this many distinct states have been expanded.
+  std::uint64_t max_states = 5'000'000;
+};
+
+struct OptimalResult {
+  /// True when the search completed within budget (result is exact).
+  bool proven = false;
+  /// Minimum cycle count (valid only when proven).
+  std::size_t cycles = 0;
+  std::uint64_t states_expanded = 0;
+};
+
+/// Computes the exact minimum number of cycles needed to schedule `dfg`
+/// with the given patterns. Requires node_count ≤ 64 and a color-covering
+/// pattern set (throws otherwise).
+OptimalResult optimal_schedule_length(const Dfg& dfg, const PatternSet& patterns,
+                                      const OptimalOptions& options = {});
+
+}  // namespace mpsched

@@ -1,0 +1,26 @@
+#include "util/bitset.hpp"
+
+namespace mpsched {
+
+std::size_t DynamicBitset::find_next(std::size_t from) const {
+  if (from >= n_bits_) return n_bits_;
+  std::size_t wi = from / kWordBits;
+  Word w = words_[wi] & (~Word{0} << (from % kWordBits));
+  while (true) {
+    if (w != 0) {
+      const std::size_t bit = wi * kWordBits + static_cast<std::size_t>(std::countr_zero(w));
+      return bit < n_bits_ ? bit : n_bits_;
+    }
+    if (++wi >= words_.size()) return n_bits_;
+    w = words_[wi];
+  }
+}
+
+std::vector<std::size_t> DynamicBitset::to_indices() const {
+  std::vector<std::size_t> out;
+  out.reserve(count());
+  for_each([&out](std::size_t i) { out.push_back(i); });
+  return out;
+}
+
+}  // namespace mpsched

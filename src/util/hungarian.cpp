@@ -1,0 +1,71 @@
+#include "util/hungarian.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace mpsched {
+
+AssignmentResult solve_assignment(const std::vector<std::vector<long long>>& cost) {
+  const std::size_t n = cost.size();
+  AssignmentResult result;
+  if (n == 0) return result;
+  for (const auto& row : cost)
+    MPSCHED_REQUIRE(row.size() == n, "cost matrix must be square");
+
+  // Potential-based Hungarian algorithm with 1-based internal indexing.
+  // u/v are row/column potentials, p[j] is the row matched to column j.
+  constexpr long long kInf = std::numeric_limits<long long>::max() / 4;
+  std::vector<long long> u(n + 1, 0), v(n + 1, 0);
+  std::vector<std::size_t> p(n + 1, 0), way(n + 1, 0);
+
+  for (std::size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    std::size_t j0 = 0;
+    std::vector<long long> minv(n + 1, kInf);
+    std::vector<bool> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const std::size_t i0 = p[j0];
+      long long delta = kInf;
+      std::size_t j1 = 0;
+      for (std::size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const long long cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (std::size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    // Augment along the alternating path.
+    do {
+      const std::size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  result.assignment.assign(n, 0);
+  for (std::size_t j = 1; j <= n; ++j) {
+    if (p[j] == 0) continue;
+    result.assignment[p[j] - 1] = j - 1;
+  }
+  for (std::size_t r = 0; r < n; ++r) result.total_cost += cost[r][result.assignment[r]];
+  return result;
+}
+
+}  // namespace mpsched

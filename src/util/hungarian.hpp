@@ -1,0 +1,28 @@
+// Hungarian algorithm (Kuhn–Munkres) for min-cost square assignment.
+//
+// The Montium allocation phase binds each operation scheduled in a cycle to
+// a concrete ALU; to minimize reconfiguration energy we solve, per cycle, a
+// min-cost assignment between pattern slots and ALUs where cost 0 means
+// "this ALU already holds that function". Matrices are tiny (C = 5), but
+// the implementation is the standard O(n^3) potential-based version and
+// works for any square size.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mpsched {
+
+struct AssignmentResult {
+  /// assignment[row] = column matched to that row.
+  std::vector<std::size_t> assignment;
+  /// Total cost of the returned assignment.
+  long long total_cost = 0;
+};
+
+/// Solves min-cost perfect assignment on a square cost matrix.
+/// `cost[r][c]` is the cost of assigning row r to column c. All rows must
+/// have the same size as the number of rows.
+AssignmentResult solve_assignment(const std::vector<std::vector<long long>>& cost);
+
+}  // namespace mpsched

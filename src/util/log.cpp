@@ -1,0 +1,35 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace mpsched::log {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_io_mutex;
+
+const char* name(LogLevel lvl) {
+  switch (lvl) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO ";
+    case LogLevel::Warn: return "WARN ";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF  ";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel level() { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_level(LogLevel lvl) { g_level.store(static_cast<int>(lvl), std::memory_order_relaxed); }
+
+void write(LogLevel lvl, const std::string& message) {
+  if (static_cast<int>(lvl) < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(g_io_mutex);
+  std::cerr << "[mpsched " << name(lvl) << "] " << message << '\n';
+}
+
+}  // namespace mpsched::log

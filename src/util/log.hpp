@@ -1,0 +1,49 @@
+// Tiny leveled logger. Off by default except warnings/errors; benchmark
+// harnesses raise the level with --verbose-style flags or set_level().
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mpsched {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+namespace log {
+
+/// Global threshold; messages below it are discarded.
+LogLevel level();
+void set_level(LogLevel lvl);
+
+void write(LogLevel lvl, const std::string& message);
+
+}  // namespace log
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel lvl) : lvl_(lvl) {}
+  ~LogLine() { log::write(lvl_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel lvl_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+#define MPSCHED_LOG(lvl)                                  \
+  if (static_cast<int>(lvl) < static_cast<int>(::mpsched::log::level())) { \
+  } else                                                  \
+    ::mpsched::detail::LogLine(lvl)
+
+#define MPSCHED_DEBUG MPSCHED_LOG(::mpsched::LogLevel::Debug)
+#define MPSCHED_INFO MPSCHED_LOG(::mpsched::LogLevel::Info)
+#define MPSCHED_WARN MPSCHED_LOG(::mpsched::LogLevel::Warn)
+#define MPSCHED_ERROR MPSCHED_LOG(::mpsched::LogLevel::Error)
+
+}  // namespace mpsched

@@ -1,0 +1,54 @@
+// Contract checking for the mpsched library.
+//
+// MPSCHED_REQUIRE   — precondition on public API arguments; throws
+//                     std::invalid_argument with a formatted message.
+// MPSCHED_CHECK     — runtime condition that depends on input data (file
+//                     contents, graph shape); throws std::runtime_error.
+// MPSCHED_ASSERT    — internal invariant; active in all build types so the
+//                     test suite exercises it, cheap enough to keep.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mpsched::detail {
+
+[[noreturn]] inline void throw_invalid_argument(const char* expr, const char* file, int line,
+                                                const std::string& msg) {
+  std::ostringstream os;
+  os << "mpsched precondition failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_runtime_error(const char* expr, const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << "mpsched check failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::runtime_error(os.str());
+}
+
+[[noreturn]] inline void throw_logic_error(const char* expr, const char* file, int line) {
+  std::ostringstream os;
+  os << "mpsched internal invariant violated: (" << expr << ") at " << file << ':' << line;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace mpsched::detail
+
+#define MPSCHED_REQUIRE(cond, msg)                                                   \
+  do {                                                                               \
+    if (!(cond)) ::mpsched::detail::throw_invalid_argument(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define MPSCHED_CHECK(cond, msg)                                                     \
+  do {                                                                               \
+    if (!(cond)) ::mpsched::detail::throw_runtime_error(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define MPSCHED_ASSERT(cond)                                                         \
+  do {                                                                               \
+    if (!(cond)) ::mpsched::detail::throw_logic_error(#cond, __FILE__, __LINE__);    \
+  } while (false)

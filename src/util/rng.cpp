@@ -1,0 +1,6 @@
+#include "util/rng.hpp"
+
+// Header-only engine; this translation unit only anchors the target.
+namespace mpsched::detail {
+void rng_anchor() {}
+}  // namespace mpsched::detail

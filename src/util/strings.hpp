@@ -1,0 +1,28 @@
+// Small string helpers shared by the IO layer and CLI tools.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mpsched {
+
+/// Splits on any amount of whitespace; no empty tokens.
+std::vector<std::string> split_ws(std::string_view s);
+
+/// Splits on a single-character delimiter; keeps empty tokens.
+std::vector<std::string> split(std::string_view s, char delim);
+
+/// Removes leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// True if `s` begins with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parses a non-negative integer; throws std::invalid_argument on junk.
+std::size_t parse_size(std::string_view s);
+
+}  // namespace mpsched

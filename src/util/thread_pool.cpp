@@ -1,0 +1,99 @@
+#include "util/thread_pool.hpp"
+
+#include <exception>
+
+#include "util/require.hpp"
+
+namespace mpsched {
+
+ThreadPool::ThreadPool(std::size_t n_threads) {
+  if (n_threads == 0) {
+    n_threads = std::thread::hardware_concurrency();
+    if (n_threads == 0) n_threads = 1;
+  }
+  workers_.reserve(n_threads);
+  for (std::size_t i = 0; i < n_threads; ++i) workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_task_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  MPSCHED_REQUIRE(task != nullptr, "task must be callable");
+  {
+    std::lock_guard lock(mutex_);
+    tasks_.push(std::move(task));
+    ++in_flight_;
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  cv_idle_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_task_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  MPSCHED_REQUIRE(fn != nullptr, "fn must be callable");
+
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
+  auto first_error = std::make_shared<std::atomic<bool>>(false);
+  auto error = std::make_shared<std::exception_ptr>();
+  auto error_mutex = std::make_shared<std::mutex>();
+
+  auto drain = [cursor, first_error, error, error_mutex, &fn, n] {
+    while (true) {
+      const std::size_t i = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (i >= n || first_error->load(std::memory_order_relaxed)) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(*error_mutex);
+        if (!first_error->exchange(true)) *error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  // One drain task per worker; the calling thread drains too, so a pool of
+  // size 1 still gives 2-way parallelism and a busy pool degrades gracefully.
+  const std::size_t helpers = workers_.size();
+  for (std::size_t t = 0; t < helpers; ++t) submit(drain);
+  drain();
+  wait_idle();
+
+  if (first_error->load() && *error) std::rethrow_exception(*error);
+}
+
+ThreadPool& ThreadPool::shared() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace mpsched

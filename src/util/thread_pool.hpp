@@ -1,0 +1,58 @@
+// A minimal fixed-size thread pool plus a deterministic parallel-for.
+//
+// The antichain enumerator and the benchmark sweeps parallelize over an
+// index space with parallel_for(). Work is distributed by an atomic
+// cursor (dynamic load balancing), but each index always computes the same
+// value into its own slot, so results are independent of thread count and
+// scheduling order — the determinism requirement of DESIGN.md §6.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mpsched {
+
+class ThreadPool {
+ public:
+  /// Creates `n_threads` workers; 0 means std::thread::hardware_concurrency().
+  explicit ThreadPool(std::size_t n_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Enqueues a task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs fn(i) for all i in [0, n) across the pool (plus the calling
+  /// thread), blocking until complete. Exceptions from `fn` are rethrown
+  /// on the caller (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide shared pool (lazily constructed, sized to the machine).
+  static ThreadPool& shared();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace mpsched

@@ -1,0 +1,57 @@
+#include "workloads/complex_builder.hpp"
+
+namespace mpsched::workloads {
+
+ComplexDfgBuilder::ComplexDfgBuilder(std::string graph_name) : dfg_(std::move(graph_name)) {
+  add_color_ = dfg_.intern_color("a");
+  sub_color_ = dfg_.intern_color("b");
+  mul_color_ = dfg_.intern_color("c");
+}
+
+NodeId ComplexDfgBuilder::unary(ColorId color, NodeId dep) {
+  const std::string prefix = dfg_.color_name(color);
+  const NodeId n = dfg_.add_node(color, prefix + std::to_string(++counter_));
+  if (dep != kInvalidNode) dfg_.add_edge(dep, n);
+  return n;
+}
+
+NodeId ComplexDfgBuilder::binary(ColorId color, NodeId dep1, NodeId dep2) {
+  const std::string prefix = dfg_.color_name(color);
+  const NodeId n = dfg_.add_node(color, prefix + std::to_string(++counter_));
+  if (dep1 != kInvalidNode) dfg_.add_edge(dep1, n);
+  if (dep2 != kInvalidNode && dep2 != dep1) dfg_.add_edge(dep2, n);
+  return n;
+}
+
+ComplexDfgBuilder::Signal ComplexDfgBuilder::add(Signal x, Signal y) {
+  return {binary(add_color_, x.re, y.re), binary(add_color_, x.im, y.im)};
+}
+
+ComplexDfgBuilder::Signal ComplexDfgBuilder::sub(Signal x, Signal y) {
+  return {binary(sub_color_, x.re, y.re), binary(sub_color_, x.im, y.im)};
+}
+
+ComplexDfgBuilder::Signal ComplexDfgBuilder::mul_real(Signal x) {
+  return {unary(mul_color_, x.re), unary(mul_color_, x.im)};
+}
+
+ComplexDfgBuilder::Signal ComplexDfgBuilder::mul_imag(Signal x) {
+  // (ik)(xr + i·xi) = −k·xi + i·k·xr — parts swap producers.
+  return {unary(mul_color_, x.im), unary(mul_color_, x.re)};
+}
+
+ComplexDfgBuilder::Signal ComplexDfgBuilder::mul_complex(Signal x) {
+  // (wr + i·wi)(xr + i·xi) = (wr·xr − wi·xi) + i(wr·xi + wi·xr)
+  const NodeId m1 = unary(mul_color_, x.re);  // wr·xr
+  const NodeId m2 = unary(mul_color_, x.im);  // wi·xi
+  const NodeId m3 = unary(mul_color_, x.im);  // wr·xi
+  const NodeId m4 = unary(mul_color_, x.re);  // wi·xr
+  return {binary(sub_color_, m1, m2), binary(add_color_, m3, m4)};
+}
+
+Dfg ComplexDfgBuilder::take() {
+  dfg_.validate();
+  return std::move(dfg_);
+}
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,69 @@
+// ComplexDfgBuilder — expresses complex-valued signal-flow algorithms
+// (DFTs, FFTs, filters) as real-operation DFGs with the paper's three
+// colors: a = addition, b = subtraction, c = multiplication.
+//
+// A Signal is a complex value as a pair of real parts; each part is either
+// produced by a DFG node or is an external input (no node — the paper's
+// 3DFT graph likewise contains only operations, not loads). Every complex
+// operation expands to its real-arithmetic implementation:
+//   add/sub            → 2 real additions / subtractions
+//   mul by real k      → 2 multiplications
+//   mul by imaginary ik→ 2 multiplications (the swap/negation is free:
+//                        signs are folded into the stored constant)
+//   mul by complex w   → 4 multiplications + 1 addition + 1 subtraction
+#pragma once
+
+#include <string>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched::workloads {
+
+class ComplexDfgBuilder {
+ public:
+  /// A complex signal: DFG nodes producing the real and imaginary parts,
+  /// or kInvalidNode for external inputs.
+  struct Signal {
+    NodeId re = kInvalidNode;
+    NodeId im = kInvalidNode;
+  };
+
+  explicit ComplexDfgBuilder(std::string graph_name);
+
+  /// External complex input (contributes no nodes).
+  Signal input() const { return {}; }
+
+  /// z = x + y : two addition nodes.
+  Signal add(Signal x, Signal y);
+
+  /// z = x − y : two subtraction nodes.
+  Signal sub(Signal x, Signal y);
+
+  /// z = k·x for real constant k: two multiplication nodes.
+  Signal mul_real(Signal x);
+
+  /// z = (ik)·x for imaginary constant: re ← k·im(x), im ← k·re(x);
+  /// two multiplication nodes with crossed dependencies.
+  Signal mul_imag(Signal x);
+
+  /// z = w·x for a general complex constant: four multiplications, one
+  /// addition (imaginary part) and one subtraction (real part).
+  Signal mul_complex(Signal x);
+
+  /// Takes the finished graph (builder becomes empty).
+  Dfg take();
+
+  const Dfg& graph() const { return dfg_; }
+
+ private:
+  NodeId unary(ColorId color, NodeId dep);
+  NodeId binary(ColorId color, NodeId dep1, NodeId dep2);
+
+  Dfg dfg_;
+  ColorId add_color_;
+  ColorId sub_color_;
+  ColorId mul_color_;
+  std::size_t counter_ = 0;
+};
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,32 @@
+// DFT/FFT workload DFGs built from real arithmetic (colors a/b/c).
+//
+// winograd_dft3 / winograd_dft5 use the Winograd small-DFT algorithms.
+// The 5-point graph (44 nodes: 20 add / 14 sub / 10 mul) stands in for the
+// paper's 5DFT, whose structure the paper never specifies (DESIGN.md §4).
+// radix2_fft provides a scalable family for benchmarks.
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched::workloads {
+
+/// Winograd 3-point complex DFT: 16 nodes (8 a, 4 b, 4 c), depth 5.
+Dfg winograd_dft3();
+
+/// Winograd 5-point complex DFT: 44 nodes (20 a, 14 b, 10 c), depth 7.
+Dfg winograd_dft5();
+
+/// Radix-2 decimation-in-time FFT on `n` complex points (power of two,
+/// n ≥ 2). Twiddle factors W^0 = 1 are free; W^{n/4} = −i costs nothing
+/// extra either (parts swap); all other twiddles are full complex
+/// multiplications.
+Dfg radix2_fft(std::size_t n);
+
+/// Direct N-point complex DFT (matrix–vector): O(N²) multiplications.
+/// Row k=0 and column j=0 have unit twiddles. Dense and wide — a stress
+/// workload for the antichain enumerator.
+Dfg direct_dft(std::size_t n);
+
+}  // namespace mpsched::workloads

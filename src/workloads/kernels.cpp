@@ -1,0 +1,195 @@
+#include "workloads/kernels.hpp"
+
+#include <functional>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace mpsched::workloads {
+
+namespace {
+
+/// Shared helper managing colors and auto-naming for real-valued builders.
+struct RealBuilder {
+  Dfg dfg;
+  ColorId a, b, c;
+  std::size_t counter = 0;
+
+  explicit RealBuilder(std::string name) : dfg(std::move(name)) {
+    a = dfg.intern_color("a");
+    b = dfg.intern_color("b");
+    c = dfg.intern_color("c");
+  }
+
+  NodeId op(ColorId color, std::initializer_list<NodeId> deps) {
+    const NodeId n = dfg.add_node(color, dfg.color_name(color) + std::to_string(++counter));
+    for (const NodeId d : deps)
+      if (d != kInvalidNode && !dfg.has_edge(d, n)) dfg.add_edge(d, n);
+    return n;
+  }
+
+  NodeId add(NodeId x, NodeId y) { return op(a, {x, y}); }
+  NodeId sub(NodeId x, NodeId y) { return op(b, {x, y}); }
+  NodeId mul(NodeId x, NodeId y = kInvalidNode) { return op(c, {x, y}); }
+
+  /// Balanced pairwise reduction with additions.
+  NodeId reduce_add(std::vector<NodeId> values) {
+    MPSCHED_ASSERT(!values.empty());
+    while (values.size() > 1) {
+      std::vector<NodeId> next;
+      next.reserve((values.size() + 1) / 2);
+      for (std::size_t i = 0; i + 1 < values.size(); i += 2)
+        next.push_back(add(values[i], values[i + 1]));
+      if (values.size() % 2 == 1) next.push_back(values.back());
+      values = std::move(next);
+    }
+    return values.front();
+  }
+
+  Dfg take() {
+    dfg.validate();
+    return std::move(dfg);
+  }
+};
+
+}  // namespace
+
+Dfg fir_filter(std::size_t taps) {
+  MPSCHED_REQUIRE(taps >= 1, "FIR filter needs at least one tap");
+  RealBuilder rb("fir" + std::to_string(taps));
+  std::vector<NodeId> products;
+  products.reserve(taps);
+  for (std::size_t i = 0; i < taps; ++i) products.push_back(rb.mul(kInvalidNode));
+  rb.reduce_add(std::move(products));
+  return rb.take();
+}
+
+Dfg iir_biquad_cascade(std::size_t sections) {
+  MPSCHED_REQUIRE(sections >= 1, "cascade needs at least one section");
+  RealBuilder rb("iir" + std::to_string(sections));
+  // One time step of a direct-form-II cascade. The state values w1/w2 of
+  // each section live in delay registers and are external inputs; the
+  // serial dependency between sections runs through the section outputs.
+  NodeId x = kInvalidNode;  // input of the current section
+  for (std::size_t s = 0; s < sections; ++s) {
+    const NodeId a1w1 = rb.mul(kInvalidNode);      // a1·w1   (state external)
+    const NodeId a2w2 = rb.mul(kInvalidNode);      // a2·w2
+    const NodeId t = rb.sub(x, a1w1);              // x − a1·w1
+    const NodeId w = rb.sub(t, a2w2);              // − a2·w2
+    const NodeId b0w = rb.mul(w);                  // b0·w
+    const NodeId b1w1 = rb.mul(kInvalidNode);      // b1·w1
+    const NodeId b2w2 = rb.mul(kInvalidNode);      // b2·w2
+    const NodeId y1 = rb.add(b0w, b1w1);
+    x = rb.add(y1, b2w2);                          // section output → next x
+  }
+  return rb.take();
+}
+
+Dfg matmul(std::size_t n) {
+  MPSCHED_REQUIRE(n >= 1, "matrix dimension must be positive");
+  RealBuilder rb("matmul" + std::to_string(n));
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      std::vector<NodeId> products;
+      products.reserve(n);
+      for (std::size_t k = 0; k < n; ++k) products.push_back(rb.mul(kInvalidNode));
+      rb.reduce_add(std::move(products));
+    }
+  }
+  return rb.take();
+}
+
+Dfg dct8() {
+  // Loeffler 8-point DCT-II flow graph; inputs are external.
+  RealBuilder rb("dct8");
+  const NodeId x = kInvalidNode;
+
+  // Stage 1: butterflies on (0,7) (1,6) (2,5) (3,4).
+  NodeId s10 = rb.add(x, x), s17 = rb.sub(x, x);
+  NodeId s11 = rb.add(x, x), s16 = rb.sub(x, x);
+  NodeId s12 = rb.add(x, x), s15 = rb.sub(x, x);
+  NodeId s13 = rb.add(x, x), s14 = rb.sub(x, x);
+
+  // Stage 2: even part butterflies; odd part rotations (3 mul + add form).
+  NodeId s20 = rb.add(s10, s13), s23 = rb.sub(s10, s13);
+  NodeId s21 = rb.add(s11, s12), s22 = rb.sub(s11, s12);
+  // Rotation(s14, s17): 3 multiplications, 3 additions (lifting form).
+  auto rotate = [&rb](NodeId u, NodeId v) {
+    const NodeId m1 = rb.mul(u);
+    const NodeId m2 = rb.mul(v);
+    const NodeId m3 = rb.mul(rb.add(u, v));
+    return std::pair<NodeId, NodeId>{rb.sub(m3, m2), rb.sub(m3, m1)};
+  };
+  auto [r1a, r1b] = rotate(s14, s17);
+  auto [r2a, r2b] = rotate(s15, s16);
+
+  // Stage 3: outputs of the even half; odd half recombination.
+  rb.add(s20, s21);                 // X0 (scaled)
+  rb.sub(s20, s21);                 // X4
+  auto [r3a, r3b] = rotate(s22, s23);  // X2, X6 rotation
+  (void)r3a;
+  (void)r3b;
+  const NodeId o1 = rb.add(r1a, r2a);
+  const NodeId o2 = rb.sub(r1a, r2a);
+  const NodeId o3 = rb.add(r1b, r2b);
+  const NodeId o4 = rb.sub(r1b, r2b);
+
+  // Stage 4: odd outputs need √2 scalings.
+  rb.mul(o2);  // X3
+  rb.mul(o3);  // X5
+  rb.add(o1, o4);  // X1
+  rb.sub(o4, o1);  // X7
+  return rb.take();
+}
+
+Dfg bitonic_sort(std::size_t n) {
+  MPSCHED_REQUIRE(n >= 2 && (n & (n - 1)) == 0, "bitonic size must be a power of two ≥ 2");
+  RealBuilder rb("bitonic" + std::to_string(n));
+  // wires[i] = node currently producing lane i (kInvalidNode = input).
+  std::vector<NodeId> wires(n, kInvalidNode);
+  auto compare_exchange = [&rb, &wires](std::size_t i, std::size_t j) {
+    const NodeId lo = rb.op(rb.a, {wires[i], wires[j]});  // min
+    const NodeId hi = rb.op(rb.b, {wires[i], wires[j]});  // max
+    wires[i] = lo;
+    wires[j] = hi;
+  };
+  // Standard bitonic network (ascending).
+  for (std::size_t k = 2; k <= n; k <<= 1) {
+    for (std::size_t j = k >> 1; j > 0; j >>= 1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t partner = i ^ j;
+        if (partner > i) compare_exchange(i, partner);
+      }
+    }
+  }
+  return rb.take();
+}
+
+Dfg stencil5(std::size_t width, std::size_t height) {
+  MPSCHED_REQUIRE(width >= 1 && height >= 1, "grid must be non-empty");
+  RealBuilder rb("stencil5-" + std::to_string(width) + "x" + std::to_string(height));
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      // center+north, +south, +west, +east — all operands external.
+      const NodeId s1 = rb.add(kInvalidNode, kInvalidNode);
+      const NodeId s2 = rb.add(s1, kInvalidNode);
+      const NodeId s3 = rb.add(s2, kInvalidNode);
+      const NodeId s4 = rb.add(s3, kInvalidNode);
+      rb.mul(s4);  // × 1/5
+    }
+  }
+  return rb.take();
+}
+
+Dfg horner(std::size_t degree) {
+  MPSCHED_REQUIRE(degree >= 1, "polynomial degree must be positive");
+  RealBuilder rb("horner" + std::to_string(degree));
+  NodeId acc = rb.mul(kInvalidNode);  // c_n · x
+  for (std::size_t i = 0; i < degree; ++i) {
+    const NodeId sum = rb.add(acc, kInvalidNode);  // + c_{n-1-i}
+    if (i + 1 < degree) acc = rb.mul(sum);         // · x
+  }
+  return rb.take();
+}
+
+}  // namespace mpsched::workloads

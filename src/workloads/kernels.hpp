@@ -1,0 +1,47 @@
+// Real-valued DSP/linear-algebra kernel DFGs — the application domain the
+// paper's introduction motivates (Montium targets mobile DSP workloads).
+// All use the a/b/c color convention (add/sub/mul).
+#pragma once
+
+#include <cstddef>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched::workloads {
+
+/// FIR filter, one output sample: taps multiplications feeding a balanced
+/// adder tree. taps ≥ 1.
+Dfg fir_filter(std::size_t taps);
+
+/// Cascade of `sections` direct-form-II biquad IIR sections (per section:
+/// 4 multiplications, 2 additions, 2 subtractions, serial dependency
+/// between sections — a long-critical-path workload).
+Dfg iir_biquad_cascade(std::size_t sections);
+
+/// Dense n×n matrix multiply (one output tile): n² dot products of length
+/// n, each a multiplication layer plus a balanced reduction tree.
+Dfg matmul(std::size_t n);
+
+/// 8-point DCT-II, Loeffler-style factorization: 11 multiplications and
+/// 29 additions/subtractions, depth 4 butterfly structure.
+Dfg dct8();
+
+/// Horner evaluation of a degree-`degree` polynomial: alternating
+/// multiply/add chain — a pure critical-path (zero-parallelism) workload.
+Dfg horner(std::size_t degree);
+
+/// Bitonic sorting network on `n` keys (power of two ≥ 2). Each
+/// compare-exchange expands to a min ('a') and a max ('b') operation on
+/// the same operand pair — a massively parallel two-color workload with
+/// log²(n) depth.
+Dfg bitonic_sort(std::size_t n);
+
+/// One sweep of a 5-point Jacobi stencil over an `width`×`height` interior
+/// grid: per point, 4 additions ('a') reducing the neighbours plus one
+/// multiplication ('c') by the 1/5 weight. Neighbouring points share no
+/// operations (inputs are the previous iteration's grid, external), so the
+/// graph is wide and shallow — the antichain enumerator's worst case and
+/// the analytic generator's best.
+Dfg stencil5(std::size_t width, std::size_t height);
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,74 @@
+#include "workloads/paper_graphs.hpp"
+
+#include <array>
+
+namespace mpsched::workloads {
+
+Dfg paper_3dft() {
+  Dfg dfg("3DFT");
+  const ColorId a = dfg.intern_color("a");
+  const ColorId b = dfg.intern_color("b");
+  const ColorId c = dfg.intern_color("c");
+
+  // Node ids follow the paper's numbering 1..24 (id = number - 1), which
+  // fixes the initial candidate-list order the stable tie-break relies on.
+  struct Spec {
+    ColorId color;
+    const char* name;
+  };
+  const std::array<Spec, 24> nodes = {{
+      {b, "b1"},  {a, "a2"},  {b, "b3"},  {a, "a4"},  {b, "b5"},  {b, "b6"},
+      {a, "a7"},  {a, "a8"},  {c, "c9"},  {c, "c10"}, {c, "c11"}, {c, "c12"},
+      {c, "c13"}, {c, "c14"}, {a, "a15"}, {a, "a16"}, {a, "a17"}, {a, "a18"},
+      {a, "a19"}, {a, "a20"}, {a, "a21"}, {a, "a22"}, {a, "a23"}, {a, "a24"},
+  }};
+  for (const Spec& s : nodes) dfg.add_node(s.color, s.name);
+
+  // Adjacency order matters for the Table 2 trace (successor discovery
+  // order feeds the stable tie-break); keep this exact sequence.
+  const std::array<std::pair<const char*, const char*>, 27> edges = {{
+      {"b1", "c9"},   {"b1", "a22"},
+      {"a2", "c10"},  {"a2", "a24"},  {"a2", "a16"},
+      {"b3", "a8"},
+      {"a4", "c11"},  {"a4", "a16"},
+      {"b5", "c13"},  {"b5", "c14"},  {"b5", "a19"},
+      {"b6", "a7"},   {"b6", "c12"},  {"b6", "a24"},  {"b6", "a16"},
+      {"a7", "c12"},
+      {"a8", "c14"},
+      {"c9", "a15"},
+      {"c10", "a18"},
+      {"c11", "a20"},
+      {"c12", "a17"},
+      {"c13", "a18"},
+      {"c14", "a20"},
+      {"a15", "a19"},
+      {"a17", "a21"},
+      {"a18", "a22"},
+      {"a20", "a23"},
+  }};
+  for (const auto& [from, to] : edges) dfg.add_edge(*dfg.find_node(from), *dfg.find_node(to));
+  dfg.validate();
+  return dfg;
+}
+
+Dfg small_example() {
+  Dfg dfg("fig4-small-example");
+  const ColorId a = dfg.intern_color("a");
+  const ColorId b = dfg.intern_color("b");
+
+  const NodeId a1 = dfg.add_node(a, "a1");
+  const NodeId a2 = dfg.add_node(a, "a2");
+  const NodeId a3 = dfg.add_node(a, "a3");
+  const NodeId b4 = dfg.add_node(b, "b4");
+  const NodeId b5 = dfg.add_node(b, "b5");
+
+  dfg.add_edge(a1, a2);
+  dfg.add_edge(a2, b4);
+  dfg.add_edge(a2, b5);
+  dfg.add_edge(a3, b4);
+  dfg.add_edge(a3, b5);
+  dfg.validate();
+  return dfg;
+}
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,29 @@
+// The two DFGs the paper evaluates with, reconstructed exactly.
+//
+// paper_3dft(): the 3-point FFT graph of Fig. 2. The paper never prints
+// its edge list, but Tables 1, 2 and 5 constrain it tightly; DESIGN.md §3
+// documents the reconstruction. The edge set below reproduces:
+//   * every ASAP/ALAP/Height row of Table 1 (plus the derived values of
+//     c12 and c14, which Table 1 accidentally omits),
+//   * the complete 7-cycle scheduling trace of Table 2 (candidate lists,
+//     both per-pattern selected sets, and the chosen pattern per cycle)
+//     under the multi-pattern scheduler with F2 and stable tie-breaking,
+//   * Table 5's antichain counts for sizes 1 and 2 at every span limit
+//     (24 nodes; 52 comparable pairs with span histogram 12/18/14/6/2).
+//
+// small_example(): the 5-node running example of Fig. 4 (Tables 4 and 6):
+// a1→a2→{b4,b5}, a3→{b4,b5}.
+#pragma once
+
+#include "graph/dfg.hpp"
+
+namespace mpsched::workloads {
+
+/// 24-node 3-point FFT DFG (colors: a=addition, b=subtraction,
+/// c=multiplication), nodes named a2, b3, c9, ... as in the paper.
+Dfg paper_3dft();
+
+/// 5-node example of paper Fig. 4 (colors a, b).
+Dfg small_example();
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,147 @@
+#include "workloads/random_dag.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace mpsched::workloads {
+
+namespace {
+
+ColorId weighted_color(Rng& rng, const std::vector<double>& weights) {
+  double total = 0.0;
+  for (const double w : weights) total += w;
+  MPSCHED_REQUIRE(total > 0.0, "color weights must sum to a positive value");
+  double x = rng.uniform01() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x < 0.0) return static_cast<ColorId>(i);
+  }
+  return static_cast<ColorId>(weights.size() - 1);
+}
+
+void intern_colors(Dfg& dfg, const std::vector<std::string>& names) {
+  MPSCHED_REQUIRE(!names.empty(), "at least one color required");
+  for (const auto& n : names) dfg.intern_color(n);
+}
+
+}  // namespace
+
+Dfg random_layered_dag(std::uint64_t seed, const LayeredDagOptions& options) {
+  MPSCHED_REQUIRE(options.layers >= 1, "need at least one layer");
+  MPSCHED_REQUIRE(options.min_width >= 1 && options.min_width <= options.max_width,
+                  "invalid width range");
+  MPSCHED_REQUIRE(options.color_weights.size() == options.color_names.size(),
+                  "one weight per color name");
+  Rng rng(seed);
+  Dfg dfg("layered-" + std::to_string(seed));
+  intern_colors(dfg, options.color_names);
+
+  std::vector<std::vector<NodeId>> layers(options.layers);
+  for (std::size_t l = 0; l < options.layers; ++l) {
+    const auto width = static_cast<std::size_t>(
+        rng.range(static_cast<std::int64_t>(options.min_width),
+                  static_cast<std::int64_t>(options.max_width)));
+    for (std::size_t i = 0; i < width; ++i)
+      layers[l].push_back(dfg.add_node(weighted_color(rng, options.color_weights)));
+  }
+
+  for (std::size_t l = 0; l + 1 < options.layers; ++l) {
+    for (const NodeId to : layers[l + 1]) {
+      bool has_pred = false;
+      for (const NodeId from : layers[l]) {
+        if (rng.chance(options.edge_probability)) {
+          dfg.add_edge(from, to);
+          has_pred = true;
+        }
+      }
+      // Guarantee at least one predecessor so the node really lives in
+      // layer l+1 rather than collapsing to a source.
+      if (!has_pred) dfg.add_edge(rng.pick(layers[l]), to);
+    }
+    // Sparse long-range edges keep the poset from being graded.
+    for (const NodeId from : layers[l]) {
+      if (l + 2 < options.layers && rng.chance(options.skip_edge_probability)) {
+        const std::size_t target_layer =
+            l + 2 + rng.below(options.layers - l - 2);
+        const NodeId to = rng.pick(layers[target_layer]);
+        if (!dfg.has_edge(from, to)) dfg.add_edge(from, to);
+      }
+    }
+  }
+  dfg.validate();
+  return dfg;
+}
+
+Dfg random_series_parallel(std::uint64_t seed, const SeriesParallelOptions& options) {
+  MPSCHED_REQUIRE(options.color_weights.size() == options.color_names.size(),
+                  "one weight per color name");
+  Rng rng(seed);
+
+  // Build the SP structure on abstract vertices first (edge list), then
+  // emit a Dfg. Start with a single edge source→sink and repeatedly pick
+  // an edge to subdivide (series) or duplicate through a new middle vertex
+  // (parallel-ish expansion that keeps the graph simple).
+  struct E {
+    std::size_t from, to;
+  };
+  std::vector<E> edges{{0, 1}};
+  std::size_t n_vertices = 2;
+
+  for (std::size_t step = 0; step < options.steps; ++step) {
+    const std::size_t e = rng.below(edges.size());
+    const auto [from, to] = edges[e];
+    const std::size_t mid = n_vertices++;
+    if (rng.chance(options.parallel_probability)) {
+      // Parallel: add a second path from→mid→to next to the existing edge.
+      edges.push_back({from, mid});
+      edges.push_back({mid, to});
+    } else {
+      // Series: subdivide the edge.
+      edges[e] = {from, mid};
+      edges.push_back({mid, to});
+    }
+  }
+
+  Dfg dfg("series-parallel-" + std::to_string(seed));
+  intern_colors(dfg, options.color_names);
+  for (std::size_t v = 0; v < n_vertices; ++v)
+    dfg.add_node(weighted_color(rng, options.color_weights));
+  for (const E& e : edges)
+    if (!dfg.has_edge(static_cast<NodeId>(e.from), static_cast<NodeId>(e.to)))
+      dfg.add_edge(static_cast<NodeId>(e.from), static_cast<NodeId>(e.to));
+  dfg.validate();
+  return dfg;
+}
+
+Dfg random_expression_tree(std::uint64_t seed, const ExprTreeOptions& options) {
+  MPSCHED_REQUIRE(options.leaves >= 2, "expression tree needs at least two leaves");
+  Rng rng(seed);
+  Dfg dfg("expr-tree-" + std::to_string(seed));
+  const ColorId a = dfg.intern_color("a");
+  const ColorId b = dfg.intern_color("b");
+  const ColorId c = dfg.intern_color("c");
+
+  // Work list of subtree roots; kInvalidNode marks an external leaf.
+  std::vector<NodeId> roots(options.leaves, kInvalidNode);
+  while (roots.size() > 1) {
+    // Combine two random roots under a fresh operator node.
+    const std::size_t i = rng.below(roots.size());
+    std::swap(roots[i], roots.back());
+    const NodeId left = roots.back();
+    roots.pop_back();
+    const std::size_t j = rng.below(roots.size());
+    const NodeId right = roots[j];
+
+    ColorId color = c;
+    if (!rng.chance(options.mul_probability)) color = rng.chance(0.5) ? a : b;
+    const NodeId parent = dfg.add_node(color);
+    if (left != kInvalidNode) dfg.add_edge(left, parent);
+    if (right != kInvalidNode && right != left) dfg.add_edge(right, parent);
+    roots[j] = parent;
+  }
+  dfg.validate();
+  return dfg;
+}
+
+}  // namespace mpsched::workloads

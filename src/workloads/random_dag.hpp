@@ -1,0 +1,55 @@
+// Random DFG generators for property tests and scaling benchmarks.
+// All generators are fully determined by their options + seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/dfg.hpp"
+#include "util/rng.hpp"
+
+namespace mpsched::workloads {
+
+struct LayeredDagOptions {
+  std::size_t layers = 6;
+  std::size_t min_width = 2;
+  std::size_t max_width = 8;
+  /// Probability of an edge from a node to each node of the next layer.
+  double edge_probability = 0.35;
+  /// Extra long-range edges (layer i → layer > i+1) per node, on average.
+  double skip_edge_probability = 0.1;
+  /// Color weights; index = ColorId. Default 3 colors weighted like a DSP
+  /// mix (many adds, some muls, fewer subs).
+  std::vector<double> color_weights{0.5, 0.2, 0.3};
+  std::vector<std::string> color_names{"a", "b", "c"};
+};
+
+/// Layered random DAG: nodes arranged in layers, edges go strictly
+/// forward, every non-first-layer node gets at least one predecessor (so
+/// layer == ASAP level distribution stays non-degenerate).
+Dfg random_layered_dag(std::uint64_t seed, const LayeredDagOptions& options = {});
+
+struct SeriesParallelOptions {
+  /// Number of composition steps (graph grows by one series or parallel
+  /// composition per step).
+  std::size_t steps = 20;
+  double parallel_probability = 0.5;
+  std::vector<double> color_weights{0.5, 0.2, 0.3};
+  std::vector<std::string> color_names{"a", "b", "c"};
+};
+
+/// Random series-parallel DAG built by repeated edge subdivision /
+/// duplication starting from a single edge. Models structured dataflow.
+Dfg random_series_parallel(std::uint64_t seed, const SeriesParallelOptions& options = {});
+
+struct ExprTreeOptions {
+  std::size_t leaves = 16;        ///< external inputs (not nodes)
+  double mul_probability = 0.4;   ///< internal node is 'c' with this prob,
+                                  ///< else 'a'/'b' split evenly
+};
+
+/// Random binary expression tree: classic compiler DFG shape.
+Dfg random_expression_tree(std::uint64_t seed, const ExprTreeOptions& options = {});
+
+}  // namespace mpsched::workloads

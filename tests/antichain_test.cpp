@@ -1,0 +1,198 @@
+// Antichain enumeration: paper Table 4 classification, brute-force
+// cross-checks on random graphs, span limits, thread-count independence.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "antichain/enumerate.hpp"
+#include "graph/closure.hpp"
+#include "graph/levels.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+EnumerateOptions opts(std::size_t max_size, std::optional<int> span = std::nullopt,
+                      bool collect = false, bool parallel = true) {
+  EnumerateOptions o;
+  o.max_size = max_size;
+  o.span_limit = span;
+  o.collect_members = collect;
+  o.parallel = parallel;
+  return o;
+}
+
+// Paper Table 4: the small example has exactly four patterns with the
+// listed antichains.
+TEST(AntichainTest, Table4SmallExampleClassification) {
+  const Dfg g = workloads::small_example();
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(2, std::nullopt, true));
+
+  ASSERT_EQ(analysis.per_pattern.size(), 4u);
+  const ColorId a = *g.find_color("a");
+  const ColorId b = *g.find_color("b");
+
+  const auto* pa = analysis.find(Pattern({a}));
+  ASSERT_NE(pa, nullptr);
+  EXPECT_EQ(pa->antichain_count, 3u);  // {a1},{a2},{a3}
+
+  const auto* pb = analysis.find(Pattern({b}));
+  ASSERT_NE(pb, nullptr);
+  EXPECT_EQ(pb->antichain_count, 2u);  // {b4},{b5}
+
+  const auto* paa = analysis.find(Pattern({a, a}));
+  ASSERT_NE(paa, nullptr);
+  EXPECT_EQ(paa->antichain_count, 2u);  // {a1,a3},{a2,a3}
+  const NodeId a1 = *g.find_node("a1");
+  const NodeId a3 = *g.find_node("a3");
+  ASSERT_EQ(paa->members.size(), 2u);
+  EXPECT_EQ(paa->members[0], (std::vector<NodeId>{a1, a3 > a1 ? a3 : a1}));
+
+  const auto* pbb = analysis.find(Pattern({b, b}));
+  ASSERT_NE(pbb, nullptr);
+  EXPECT_EQ(pbb->antichain_count, 1u);  // {b4,b5}
+
+  EXPECT_EQ(analysis.total, 8u);
+}
+
+// Paper Table 6: node frequencies of the small example.
+TEST(AntichainTest, Table6NodeFrequencies) {
+  const Dfg g = workloads::small_example();
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(2));
+  const ColorId a = *g.find_color("a");
+  const ColorId b = *g.find_color("b");
+  auto freq = [&](const Pattern& p, const char* node) {
+    const auto* stats = analysis.find(p);
+    EXPECT_NE(stats, nullptr);
+    return stats->node_frequency[*g.find_node(node)];
+  };
+  // Rows of Table 6: p1={a}, p2={b}, p3={aa}, p4={bb}.
+  EXPECT_EQ(freq(Pattern({a}), "a1"), 1u);
+  EXPECT_EQ(freq(Pattern({a}), "a2"), 1u);
+  EXPECT_EQ(freq(Pattern({a}), "a3"), 1u);
+  EXPECT_EQ(freq(Pattern({a}), "b4"), 0u);
+  EXPECT_EQ(freq(Pattern({b}), "b4"), 1u);
+  EXPECT_EQ(freq(Pattern({b}), "b5"), 1u);
+  EXPECT_EQ(freq(Pattern({a, a}), "a1"), 1u);
+  EXPECT_EQ(freq(Pattern({a, a}), "a2"), 1u);
+  EXPECT_EQ(freq(Pattern({a, a}), "a3"), 2u);
+  EXPECT_EQ(freq(Pattern({b, b}), "b4"), 1u);
+  EXPECT_EQ(freq(Pattern({b, b}), "b5"), 1u);
+}
+
+// Brute force over all subsets for small random graphs.
+class AntichainOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AntichainOracleTest, MatchesSubsetEnumeration) {
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 3;
+  dag_options.min_width = 2;
+  dag_options.max_width = 4;
+  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+  ASSERT_LE(g.node_count(), 16u);
+
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+  const std::size_t cap = 4;
+
+  // Oracle: iterate all subsets, test pairwise parallelizability.
+  std::uint64_t oracle_total = 0;
+  std::vector<std::uint64_t> oracle_by_size(cap + 1, 0);
+  for (std::uint64_t mask = 1; mask < (1ULL << g.node_count()); ++mask) {
+    const auto size = static_cast<std::size_t>(__builtin_popcountll(mask));
+    if (size > cap) continue;
+    std::vector<NodeId> members;
+    for (NodeId n = 0; n < g.node_count(); ++n)
+      if (mask >> n & 1) members.push_back(n);
+    bool antichain = true;
+    for (std::size_t i = 0; i < members.size() && antichain; ++i)
+      for (std::size_t j = i + 1; j < members.size() && antichain; ++j)
+        antichain = reach.parallelizable(members[i], members[j]);
+    if (antichain) {
+      ++oracle_total;
+      ++oracle_by_size[size];
+    }
+  }
+
+  const AntichainAnalysis analysis = enumerate_antichains(g, lv, reach, opts(cap));
+  EXPECT_EQ(analysis.total, oracle_total);
+  for (std::size_t s = 1; s <= cap; ++s)
+    EXPECT_EQ(analysis.count_with_span_at_most(s, lv.asap_max), oracle_by_size[s])
+        << "size " << s;
+}
+
+TEST_P(AntichainOracleTest, SpanLimitFiltersExactly) {
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 4;
+  dag_options.min_width = 2;
+  dag_options.max_width = 4;
+  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+
+  const AntichainAnalysis full = enumerate_antichains(g, lv, reach, opts(3));
+  for (int limit = 0; limit <= lv.asap_max; ++limit) {
+    const AntichainAnalysis limited = enumerate_antichains(g, lv, reach, opts(3, limit));
+    std::uint64_t expected = 0;
+    for (std::size_t s = 1; s <= 3; ++s) expected += full.count_with_span_at_most(s, limit);
+    EXPECT_EQ(limited.total, expected) << "limit " << limit;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, AntichainOracleTest,
+                         ::testing::Values(3, 7, 11, 19, 23, 31));
+
+TEST(AntichainTest, ParallelMatchesSequential) {
+  const Dfg g = workloads::paper_3dft();
+  const AntichainAnalysis seq = enumerate_antichains(g, opts(5, std::nullopt, false, false));
+  const AntichainAnalysis par = enumerate_antichains(g, opts(5, std::nullopt, false, true));
+  EXPECT_EQ(seq.total, par.total);
+  ASSERT_EQ(seq.per_pattern.size(), par.per_pattern.size());
+  for (std::size_t i = 0; i < seq.per_pattern.size(); ++i) {
+    EXPECT_EQ(seq.per_pattern[i].pattern, par.per_pattern[i].pattern);
+    EXPECT_EQ(seq.per_pattern[i].antichain_count, par.per_pattern[i].antichain_count);
+    EXPECT_EQ(seq.per_pattern[i].node_frequency, par.per_pattern[i].node_frequency);
+  }
+}
+
+TEST(AntichainTest, NodeFrequencySumsToSizeWeightedCount) {
+  // Σ_n h(p̄,n) = Σ over antichains of |A| = |p̄| · count(p̄).
+  const Dfg g = workloads::paper_3dft();
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(5));
+  for (const auto& pa : analysis.per_pattern) {
+    std::uint64_t sum = 0;
+    for (const auto h : pa.node_frequency) sum += h;
+    EXPECT_EQ(sum, pa.antichain_count * pa.pattern.size());
+  }
+}
+
+TEST(AntichainTest, SizeOneCountsEqualNodeCount) {
+  const Dfg g = workloads::paper_3dft();
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(1));
+  EXPECT_EQ(analysis.total, g.node_count());
+}
+
+TEST(AntichainTest, MaxAntichainsGuardTrips) {
+  const Dfg g = workloads::paper_3dft();
+  EnumerateOptions o = opts(5);
+  o.max_antichains = 10;
+  EXPECT_THROW(enumerate_antichains(g, o), std::runtime_error);
+}
+
+TEST(AntichainTest, MembersAreSortedAndValid) {
+  const Dfg g = workloads::small_example();
+  const Reachability reach(g);
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(2, std::nullopt, true));
+  for (const auto& pa : analysis.per_pattern) {
+    for (const auto& antichain : pa.members) {
+      EXPECT_TRUE(std::is_sorted(antichain.begin(), antichain.end()));
+      for (std::size_t i = 0; i < antichain.size(); ++i)
+        for (std::size_t j = i + 1; j < antichain.size(); ++j)
+          EXPECT_TRUE(reach.parallelizable(antichain[i], antichain[j]));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,181 @@
+// Baseline schedulers: classic list scheduling, force-directed scheduling,
+// and the exact A* oracle — plus cross-checks of the multi-pattern
+// heuristic against the oracle on small graphs.
+#include <gtest/gtest.h>
+
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "graph/levels.hpp"
+#include "pattern/parse.hpp"
+#include "sched/force_directed.hpp"
+#include "sched/list_schedule.hpp"
+#include "sched/optimal.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(ListScheduleTest, RespectsCapacityAndDependencies) {
+  const Dfg g = workloads::paper_3dft();
+  const ListScheduleResult result = list_schedule(g, {.capacity = 5});
+  EXPECT_TRUE(validate_dependencies(g, result.schedule).ok);
+  for (const auto& cycle : result.schedule.cycles()) EXPECT_LE(cycle.size(), 5u);
+  // 24 nodes / 5 per cycle and critical path 5 → at least 5 cycles.
+  EXPECT_GE(result.cycles, 5u);
+}
+
+TEST(ListScheduleTest, UnlimitedPatternsBeatOrMatchRestrictedOnes) {
+  // The multi-pattern scheduler with any 2 patterns cannot beat the
+  // unrestricted baseline on the same capacity.
+  const Dfg g = workloads::paper_3dft();
+  const ListScheduleResult unlimited = list_schedule(g, {.capacity = 5});
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  const MpScheduleResult restricted = multi_pattern_schedule(g, patterns);
+  ASSERT_TRUE(restricted.success);
+  EXPECT_LE(unlimited.cycles, restricted.cycles);
+}
+
+TEST(ListScheduleTest, InducedPatternCountMeasuresConfigCost) {
+  const Dfg g = workloads::paper_3dft();
+  const ListScheduleResult result = list_schedule(g, {.capacity = 5});
+  EXPECT_GE(result.induced.size(), 1u);
+  EXPECT_LE(result.induced.size(), result.cycles);
+}
+
+TEST(ListScheduleTest, ChainTakesExactlyNodeCountCycles) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 7; ++i) g.add_node(a);
+  for (int i = 0; i + 1 < 7; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  EXPECT_EQ(list_schedule(g, {.capacity = 3}).cycles, 7u);
+}
+
+TEST(FdsTest, MatchesCriticalPathWhenCapacityIsLoose) {
+  const Dfg g = workloads::paper_3dft();
+  const FdsResult result = force_directed_capacity_schedule(g, {.capacity = 24});
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.cycles, 5u);  // critical path length
+  EXPECT_TRUE(validate_dependencies(g, result.schedule).ok);
+}
+
+TEST(FdsTest, TightCapacityStretchesLatency) {
+  const Dfg g = workloads::paper_3dft();
+  const FdsResult result = force_directed_capacity_schedule(g, {.capacity = 5});
+  ASSERT_TRUE(result.success);
+  EXPECT_GE(result.cycles, 5u);
+  for (const auto& cycle : result.schedule.cycles()) EXPECT_LE(cycle.size(), 5u);
+  EXPECT_TRUE(validate_dependencies(g, result.schedule).ok);
+}
+
+TEST(FdsTest, RejectsLatencyBelowCriticalPath) {
+  const Dfg g = workloads::paper_3dft();
+  EXPECT_THROW(force_directed_schedule(g, 4), std::invalid_argument);
+}
+
+TEST(FdsTest, BalancesConcurrencyOnIndependentNodes) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 8; ++i) g.add_node(a);
+  // 8 independent nodes, latency 4 → FDS should spread them ~2 per cycle.
+  const Schedule s = force_directed_schedule(g, 4);
+  EXPECT_TRUE(validate_dependencies(g, s).ok);
+  for (const auto& cycle : s.cycles()) EXPECT_LE(cycle.size(), 3u);
+}
+
+TEST(OptimalTest, ChainNeedsExactlyNodeCount) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 5; ++i) g.add_node(a);
+  for (int i = 0; i + 1 < 5; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  PatternSet set;
+  set.insert(Pattern({a, a}));
+  const OptimalResult result = optimal_schedule_length(g, set);
+  ASSERT_TRUE(result.proven);
+  EXPECT_EQ(result.cycles, 5u);
+}
+
+TEST(OptimalTest, WideGraphPacksPerfectly) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 9; ++i) g.add_node(a);
+  PatternSet set;
+  set.insert(Pattern({a, a, a}));
+  const OptimalResult result = optimal_schedule_length(g, set);
+  ASSERT_TRUE(result.proven);
+  EXPECT_EQ(result.cycles, 3u);
+}
+
+TEST(OptimalTest, PatternChoiceMatters) {
+  // Two colors alternating; a single-color pattern set forces serial color
+  // phases while {ab} packs pairs.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId b = g.intern_color("b");
+  for (int i = 0; i < 3; ++i) {
+    g.add_node(a);
+    g.add_node(b);
+  }
+  PatternSet ab;
+  ab.insert(Pattern({a, b}));
+  const OptimalResult with_ab = optimal_schedule_length(g, ab);
+  ASSERT_TRUE(with_ab.proven);
+  EXPECT_EQ(with_ab.cycles, 3u);
+
+  PatternSet separate;
+  separate.insert(Pattern({a, a, a}));
+  separate.insert(Pattern({b, b, b}));
+  const OptimalResult with_sep = optimal_schedule_length(g, separate);
+  ASSERT_TRUE(with_sep.proven);
+  EXPECT_EQ(with_sep.cycles, 2u);
+}
+
+TEST(OptimalTest, RequiresCoverage) {
+  const Dfg g = workloads::small_example();
+  PatternSet set;
+  set.insert(Pattern({*g.find_color("a")}));
+  EXPECT_THROW(optimal_schedule_length(g, set), std::invalid_argument);
+}
+
+TEST(OptimalTest, HeuristicNeverBeatsOracleOnPaperGraph) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  const MpScheduleResult heuristic = multi_pattern_schedule(g, patterns);
+  ASSERT_TRUE(heuristic.success);
+  const OptimalResult oracle = optimal_schedule_length(g, patterns);
+  ASSERT_TRUE(oracle.proven);
+  EXPECT_LE(oracle.cycles, heuristic.cycles);
+  EXPECT_GE(oracle.cycles, 5u);  // critical path
+}
+
+class OracleComparisonTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OracleComparisonTest, HeuristicWithinOracleOnSmallRandomGraphs) {
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 3;
+  dag_options.min_width = 2;
+  dag_options.max_width = 4;
+  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+
+  SelectOptions so;
+  so.pattern_count = 2;
+  so.capacity = 3;
+  const SelectionResult sel = select_patterns(g, so);
+
+  const MpScheduleResult heuristic = multi_pattern_schedule(g, sel.patterns);
+  ASSERT_TRUE(heuristic.success) << heuristic.error;
+  const OptimalResult oracle = optimal_schedule_length(g, sel.patterns);
+  ASSERT_TRUE(oracle.proven);
+  EXPECT_GE(heuristic.cycles, oracle.cycles);
+  // List-scheduling heuristics on unit tasks stay within 2x of optimal in
+  // practice on these small instances; a blow-up signals a bug.
+  EXPECT_LE(heuristic.cycles, oracle.cycles * 2 + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, OracleComparisonTest,
+                         ::testing::Values(5, 10, 15, 20, 25, 30));
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,179 @@
+// Clustering phase: MAC fusion correctness (single-use condition, cycle
+// safety, color bookkeeping) and its effect on schedules.
+#include <gtest/gtest.h>
+
+#include "compiler/cluster.hpp"
+#include "compiler/pipeline.hpp"
+#include "graph/levels.hpp"
+#include "workloads/kernels.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(ClusterTest, FusesMulIntoAdd) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  const NodeId mul = g.add_node(c, "mul");
+  const NodeId add = g.add_node(a, "add");
+  g.add_edge(mul, add);
+
+  const ClusterResult r = cluster_dfg(g, montium_fusion_rules());
+  EXPECT_EQ(r.fused_pairs, 1u);
+  EXPECT_EQ(r.dfg.node_count(), 1u);
+  EXPECT_EQ(r.node_map[mul], r.node_map[add]);
+  EXPECT_EQ(r.dfg.color_name(r.dfg.color(r.node_map[add])), "m");
+}
+
+TEST(ClusterTest, MultiUseProducerNotFused) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  const NodeId mul = g.add_node(c, "mul");
+  const NodeId add1 = g.add_node(a, "add1");
+  const NodeId add2 = g.add_node(a, "add2");
+  g.add_edge(mul, add1);
+  g.add_edge(mul, add2);  // the product escapes → no fusion
+  const ClusterResult r = cluster_dfg(g, montium_fusion_rules());
+  EXPECT_EQ(r.fused_pairs, 0u);
+  EXPECT_EQ(r.dfg.node_count(), 3u);
+}
+
+TEST(ClusterTest, OneFusionPerConsumer) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  const NodeId m1 = g.add_node(c, "m1");
+  const NodeId m2 = g.add_node(c, "m2");
+  const NodeId add = g.add_node(a, "add");
+  g.add_edge(m1, add);
+  g.add_edge(m2, add);  // a+b*c*... only one mul can ride along
+  const ClusterResult r = cluster_dfg(g, montium_fusion_rules());
+  EXPECT_EQ(r.fused_pairs, 1u);
+  EXPECT_EQ(r.dfg.node_count(), 2u);
+}
+
+TEST(ClusterTest, CycleHazardPreventsFusion) {
+  // mul(c) → x(b) → add(a) and mul → add: mul is single-use w.r.t. the
+  // rule? No — mul has two consumers; craft the pure reachability hazard:
+  // u(c) → add with u also reaching add through w(b). Here u is the ONLY
+  // 'c' pred of add and is single-edge into add... make u single-use by
+  // routing through w: u→w, w→add, u→add means u has 2 succs — so the
+  // single-use test already rejects. The reachability check is exercised
+  // with u→w→v where v also directly consumes a single-use producer whose
+  // value feeds w upstream: p(c)→w(b), w→v(a), p→... p must have exactly
+  // one successor AND reach another pred of v. That is impossible with one
+  // successor unless the path runs THROUGH v's other pred: p(c)→w(b)→v(a)
+  // with p ALSO being matched for fusion into v? p's only succ is w, not
+  // v — no rule match. The realizable hazard needs a diamond: p(c)→q(b),
+  // p... Conclusion: with single-use producers the direct edge is the only
+  // outlet, so reachability to a sibling pred requires a second successor
+  // — the single-use check subsumes the hazard for binary rules. Verify
+  // exactly that: the two-consumer producer is never fused even though a
+  // rule matches the direct edge.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId b = g.intern_color("b");
+  const ColorId c = g.intern_color("c");
+  const NodeId mul = g.add_node(c, "mul");
+  const NodeId x = g.add_node(b, "x");
+  const NodeId add = g.add_node(a, "add");
+  g.add_edge(mul, x);
+  g.add_edge(mul, add);
+  g.add_edge(x, add);
+  const ClusterResult r = cluster_dfg(g, montium_fusion_rules());
+  EXPECT_EQ(r.fused_pairs, 0u);
+  r.dfg.validate();
+  EXPECT_TRUE(r.dfg.is_dag());
+}
+
+TEST(ClusterTest, IndirectCycleHazardDetected) {
+  // u(c) → v(a) direct, and u → w(b) → v indirect: fusing u,v would create
+  // a cycle through w. u has two successors, so craft the hazard with a
+  // single-use producer: u → w → v plus u' where u' is single-use.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId b = g.intern_color("b");
+  const ColorId c = g.intern_color("c");
+  (void)b;
+  const NodeId u = g.add_node(c, "u");
+  const NodeId w = g.add_node(b, "w");
+  const NodeId v = g.add_node(a, "v");
+  g.add_edge(u, w);
+  g.add_edge(w, v);
+  g.add_edge(u, v);
+  // u reaches w, w is another pred of v → fusion unsafe (also multi-use).
+  const ClusterResult r = cluster_dfg(g, montium_fusion_rules());
+  EXPECT_EQ(r.fused_pairs, 0u);
+  r.dfg.validate();
+}
+
+TEST(ClusterTest, FirFilterFusesIntoMacs) {
+  const Dfg fir = workloads::fir_filter(8);  // 8 muls + 7-adder tree
+  const ClusterResult r = cluster_dfg(fir, montium_fusion_rules());
+  // The first adder layer takes mul inputs: 4 fusions (one per adder).
+  EXPECT_EQ(r.fused_pairs, 4u);
+  EXPECT_EQ(r.dfg.node_count(), fir.node_count() - 4);
+  EXPECT_TRUE(r.dfg.find_color("m").has_value());
+  r.dfg.validate();
+}
+
+TEST(ClusterTest, UnknownRuleColorsIgnored) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  g.add_node(a, "x");
+  const ClusterResult r = cluster_dfg(g, {{"z", "q", "zz"}});
+  EXPECT_EQ(r.fused_pairs, 0u);
+  EXPECT_EQ(r.dfg.node_count(), 1u);
+}
+
+TEST(ClusterTest, PipelineWithClusteringSchedulesFewerOps) {
+  const Dfg fir = workloads::fir_filter(16);
+  CompileOptions plain;
+  plain.pattern_count = 3;
+  CompileOptions clustered = plain;
+  clustered.run_clustering = true;
+  const CompileReport rp = compile(fir, plain);
+  const CompileReport rc = compile(fir, clustered);
+  ASSERT_TRUE(rp.success) << rp.error;
+  ASSERT_TRUE(rc.success) << rc.error;
+  EXPECT_LT(rc.clusters, rp.clusters);
+  // Fewer operations execute, but the extra 'm' color competes for the
+  // same Pdef pattern slots, so cycle counts move within a small band
+  // rather than strictly improving.
+  EXPECT_LE(rc.schedule.cycles, rp.schedule.cycles + 3);
+  ASSERT_TRUE(rc.scheduled_dfg.has_value());
+  EXPECT_TRUE(rc.scheduled_dfg->find_color("m").has_value());
+  EXPECT_LT(rc.execution.operations, rp.execution.operations);
+}
+
+TEST(ClusterTest, PipelineWithTransformShortensCriticalPath) {
+  // Horner is a pure chain of mul/add: rebalancing cannot apply (not a
+  // same-color chain), but an addition chain benefits.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  std::vector<NodeId> feeders;
+  for (int i = 0; i < 12; ++i) feeders.push_back(g.add_node(c));
+  NodeId acc = g.add_node(a);
+  g.add_edge(feeders[0], acc);
+  g.add_edge(feeders[1], acc);
+  for (int i = 2; i < 12; ++i) {
+    const NodeId next = g.add_node(a);
+    g.add_edge(acc, next);
+    g.add_edge(feeders[static_cast<std::size_t>(i)], next);
+    acc = next;
+  }
+
+  CompileOptions plain;
+  plain.pattern_count = 2;
+  CompileOptions transformed = plain;
+  transformed.run_transformations = true;
+  const CompileReport rp = compile(g, plain);
+  const CompileReport rt = compile(g, transformed);
+  ASSERT_TRUE(rp.success && rt.success);
+  EXPECT_LT(rt.schedule.cycles, rp.schedule.cycles);
+}
+
+}  // namespace
+}  // namespace mpsched

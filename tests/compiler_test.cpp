@@ -1,0 +1,106 @@
+// The four-phase compiler pipeline: end-to-end success on real workloads,
+// phase failure routing, fixed-pattern mode.
+#include <gtest/gtest.h>
+
+#include "compiler/pipeline.hpp"
+#include "pattern/parse.hpp"
+#include "workloads/dft.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(CompilerTest, CompilesPaper3DftEndToEnd) {
+  const Dfg g = workloads::paper_3dft();
+  CompileOptions options;
+  options.pattern_count = 4;
+  const CompileReport report = compile(g, options);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_EQ(report.nodes, 24u);
+  EXPECT_LE(report.patterns.size(), 4u);
+  EXPECT_GE(report.patterns.size(), 1u);
+  EXPECT_GE(report.schedule.cycles, 5u);
+  EXPECT_TRUE(report.execution.ok);
+  EXPECT_LE(report.execution.distinct_patterns, 4u);
+  const std::string text = report.to_string(g);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+  EXPECT_NE(text.find("scheduling"), std::string::npos);
+}
+
+TEST(CompilerTest, CompilesKernelSuite) {
+  for (const Dfg& g : {workloads::winograd_dft5(), workloads::fir_filter(16),
+                       workloads::dct8(), workloads::matmul(3)}) {
+    CompileOptions options;
+    options.pattern_count = 4;
+    const CompileReport report = compile(g, options);
+    EXPECT_TRUE(report.success) << g.name() << ": " << report.error;
+  }
+}
+
+TEST(CompilerTest, FixedPatternsSkipSelection) {
+  const Dfg g = workloads::paper_3dft();
+  CompileOptions options;
+  options.fixed_patterns = parse_pattern_set(g, "aabcc aaacc");
+  const CompileReport report = compile(g, options);
+  ASSERT_TRUE(report.success) << report.error;
+  EXPECT_EQ(report.patterns.size(), 2u);
+  EXPECT_TRUE(report.selection.patterns.empty());
+  EXPECT_EQ(report.schedule.cycles, 7u);  // the Table 2 schedule
+}
+
+TEST(CompilerTest, FixedPatternsWithoutCoverageFail) {
+  const Dfg g = workloads::paper_3dft();
+  CompileOptions options;
+  options.fixed_patterns = parse_pattern_set(g, "aaaaa");
+  const CompileReport report = compile(g, options);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("scheduling"), std::string::npos);
+}
+
+TEST(CompilerTest, OversizedPatternFailsTileValidation) {
+  const Dfg g = workloads::paper_3dft();
+  CompileOptions options;
+  options.tile.alu_count = 3;
+  options.fixed_patterns = parse_pattern_set(g, "aabcc");  // 5 slots > 3 ALUs
+  const CompileReport report = compile(g, options);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("ALU"), std::string::npos);
+}
+
+TEST(CompilerTest, CyclicGraphFailsTransformationPhase) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a), v = g.add_node(a);
+  g.add_edge(u, v);
+  g.add_edge(v, u);
+  const CompileReport report = compile(g);
+  EXPECT_FALSE(report.success);
+  EXPECT_NE(report.error.find("transformation"), std::string::npos);
+}
+
+TEST(CompilerTest, ReportMentionsFailureInToString) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a), v = g.add_node(a);
+  g.add_edge(u, v);
+  g.add_edge(v, u);
+  const CompileReport report = compile(g);
+  EXPECT_NE(report.to_string(g).find("FAILED"), std::string::npos);
+}
+
+TEST(CompilerTest, SmallerTilesNeedMoreCycles) {
+  const Dfg g = workloads::winograd_dft5();
+  CompileOptions big;
+  big.pattern_count = 4;
+  CompileOptions small = big;
+  small.tile.alu_count = 2;
+  const CompileReport rb = compile(g, big);
+  const CompileReport rs = compile(g, small);
+  ASSERT_TRUE(rb.success) << rb.error;
+  ASSERT_TRUE(rs.success) << rs.error;
+  EXPECT_GT(rs.schedule.cycles, rb.schedule.cycles);
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,135 @@
+// Heavy cross-component validation sweeps (parameterized):
+//   * multi-pattern heuristic vs the exact A* optimum over random small
+//     graphs × random pattern sets,
+//   * analytic level generator vs the enumerator on random complete
+//     layered graphs (where they must agree exactly),
+//   * executor verdicts vs schedule validation on randomly perturbed
+//     schedules (both must flag the same corruptions).
+#include <gtest/gtest.h>
+
+#include "antichain/analytic.hpp"
+#include "antichain/enumerate.hpp"
+#include "core/mp_schedule.hpp"
+#include "montium/execute.hpp"
+#include "pattern/random.hpp"
+#include "sched/optimal.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+EnumerateOptions size_only(std::size_t max_size) {
+  EnumerateOptions o;
+  o.max_size = max_size;
+  return o;
+}
+
+class HeuristicVsOptimalTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HeuristicVsOptimalTest, HeuristicNeverBeatsAndTracksOptimal) {
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 3;
+  dag_options.min_width = 2;
+  dag_options.max_width = 4;
+  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+  Rng rng(GetParam() * 977 + 3);
+
+  for (int trial = 0; trial < 3; ++trial) {
+    RandomPatternOptions rpo;
+    rpo.capacity = 3;
+    rpo.count = 2;
+    const PatternSet patterns = random_pattern_set(g, rng, rpo);
+    const MpScheduleResult heuristic = multi_pattern_schedule(g, patterns);
+    ASSERT_TRUE(heuristic.success);
+    OptimalOptions oo;
+    oo.max_states = 500'000;
+    const OptimalResult optimal = optimal_schedule_length(g, patterns, oo);
+    if (!optimal.proven) continue;  // budget exceeded; skip comparison
+    EXPECT_GE(heuristic.cycles, optimal.cycles);
+    EXPECT_LE(heuristic.cycles, optimal.cycles * 2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HeuristicVsOptimalTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+class AnalyticAgreementTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnalyticAgreementTest, ExactOnRandomCompleteLayeredGraphs) {
+  // Build a complete layered graph with random widths/colors: every
+  // antichain lives inside one layer, so analytic == enumerative.
+  Rng rng(GetParam());
+  Dfg g("complete-layered");
+  const ColorId colors[3] = {g.intern_color("a"), g.intern_color("b"),
+                             g.intern_color("c")};
+  std::vector<std::vector<NodeId>> layers;
+  const std::size_t n_layers = 2 + rng.below(3);
+  for (std::size_t l = 0; l < n_layers; ++l) {
+    layers.emplace_back();
+    const std::size_t width = 1 + rng.below(5);
+    for (std::size_t i = 0; i < width; ++i)
+      layers.back().push_back(g.add_node(colors[rng.below(3)]));
+  }
+  for (std::size_t l = 0; l + 1 < layers.size(); ++l)
+    for (const NodeId from : layers[l])
+      for (const NodeId to : layers[l + 1]) g.add_edge(from, to);
+
+  const AntichainAnalysis analytic = analytic_level_analysis(g, 4);
+  const AntichainAnalysis enumerated = enumerate_antichains(g, size_only(4));
+  ASSERT_EQ(analytic.total, enumerated.total);
+  ASSERT_EQ(analytic.per_pattern.size(), enumerated.per_pattern.size());
+  for (std::size_t i = 0; i < analytic.per_pattern.size(); ++i) {
+    EXPECT_EQ(analytic.per_pattern[i].pattern, enumerated.per_pattern[i].pattern);
+    EXPECT_EQ(analytic.per_pattern[i].antichain_count,
+              enumerated.per_pattern[i].antichain_count);
+    EXPECT_EQ(analytic.per_pattern[i].node_frequency,
+              enumerated.per_pattern[i].node_frequency);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticAgreementTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+class ExecutorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ExecutorFuzzTest, ExecutorAndValidatorAgreeOnPerturbedSchedules) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  Rng rng(GetParam() * 31 + 1);
+  RandomPatternOptions rpo;
+  rpo.capacity = 5;
+  rpo.count = 3;
+  const PatternSet patterns = random_pattern_set(g, rng, rpo);
+  const MpScheduleResult r = multi_pattern_schedule(g, patterns);
+  ASSERT_TRUE(r.success);
+
+  TileConfig tile;
+  // The untouched schedule passes both checks.
+  ASSERT_TRUE(validate_dependencies(g, r.schedule).ok);
+  ASSERT_TRUE(run_schedule(g, r.schedule, tile).ok);
+
+  // Perturb: move one non-source node onto or before one of its
+  // predecessors — both layers must reject.
+  for (int trial = 0; trial < 5; ++trial) {
+    const auto victim = static_cast<NodeId>(rng.below(g.node_count()));
+    if (g.is_source(victim)) continue;
+    Schedule corrupted = r.schedule;
+    const NodeId pred = g.preds(victim)[0];
+    corrupted.place(victim, corrupted.cycle_of(pred));
+    EXPECT_FALSE(validate_dependencies(g, corrupted).ok);
+    // The executor needs an allocation; over-capacity cycles throw there,
+    // which equally counts as rejection.
+    bool rejected = false;
+    try {
+      rejected = !run_schedule(g, corrupted, tile).ok;
+    } catch (const std::runtime_error&) {
+      rejected = true;
+    }
+    EXPECT_TRUE(rejected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExecutorFuzzTest, ::testing::Values(5, 15, 25, 35));
+
+}  // namespace
+}  // namespace mpsched

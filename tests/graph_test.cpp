@@ -1,0 +1,142 @@
+// Unit tests for the DFG substrate: construction, adjacency order,
+// validation, topological ordering.
+#include <gtest/gtest.h>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(DfgTest, EmptyGraph) {
+  Dfg g("empty");
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+  EXPECT_TRUE(g.is_dag());
+  EXPECT_TRUE(g.topo_order().empty());
+}
+
+TEST(DfgTest, InternColorIsIdempotent) {
+  Dfg g;
+  const ColorId a1 = g.intern_color("a");
+  const ColorId a2 = g.intern_color("a");
+  const ColorId b = g.intern_color("b");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_EQ(g.color_count(), 2u);
+  EXPECT_EQ(g.color_name(a1), "a");
+}
+
+TEST(DfgTest, AddNodeAssignsSequentialIds) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  EXPECT_EQ(g.add_node(a, "x"), 0u);
+  EXPECT_EQ(g.add_node(a, "y"), 1u);
+  EXPECT_EQ(g.node_name(0), "x");
+  EXPECT_EQ(g.node_name(1), "y");
+}
+
+TEST(DfgTest, AutoNamesAreGenerated) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId n = g.add_node(a);
+  EXPECT_EQ(g.node_name(n), "n0");
+}
+
+TEST(DfgTest, DuplicateNodeNameThrows) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  g.add_node(a, "x");
+  EXPECT_THROW(g.add_node(a, "x"), std::invalid_argument);
+}
+
+TEST(DfgTest, UnknownColorIdThrows) {
+  Dfg g;
+  EXPECT_THROW(g.add_node(ColorId{3}, "x"), std::invalid_argument);
+}
+
+TEST(DfgTest, EdgesPreserveInsertionOrder) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  const NodeId v = g.add_node(a, "v");
+  const NodeId w = g.add_node(a, "w");
+  const NodeId x = g.add_node(a, "x");
+  g.add_edge(u, x);
+  g.add_edge(u, v);
+  g.add_edge(u, w);
+  ASSERT_EQ(g.succs(u).size(), 3u);
+  EXPECT_EQ(g.succs(u)[0], x);
+  EXPECT_EQ(g.succs(u)[1], v);
+  EXPECT_EQ(g.succs(u)[2], w);
+  EXPECT_EQ(g.preds(x).front(), u);
+}
+
+TEST(DfgTest, SelfLoopRejected) {
+  Dfg g;
+  const NodeId u = g.add_node(g.intern_color("a"), "u");
+  EXPECT_THROW(g.add_edge(u, u), std::invalid_argument);
+}
+
+TEST(DfgTest, DuplicateEdgeRejected) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  const NodeId v = g.add_node(a, "v");
+  g.add_edge(u, v);
+  EXPECT_THROW(g.add_edge(u, v), std::invalid_argument);
+}
+
+TEST(DfgTest, CycleDetection) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  const NodeId v = g.add_node(a, "v");
+  const NodeId w = g.add_node(a, "w");
+  g.add_edge(u, v);
+  g.add_edge(v, w);
+  g.add_edge(w, u);
+  EXPECT_FALSE(g.is_dag());
+  EXPECT_THROW(g.validate(), std::runtime_error);
+  EXPECT_THROW((void)g.topo_order(), std::runtime_error);
+}
+
+TEST(DfgTest, TopoOrderRespectsEdges) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  const NodeId v = g.add_node(a, "v");
+  const NodeId w = g.add_node(a, "w");
+  g.add_edge(v, u);
+  g.add_edge(u, w);
+  const auto order = g.topo_order();
+  ASSERT_EQ(order.size(), 3u);
+  std::vector<std::size_t> pos(3);
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  EXPECT_LT(pos[v], pos[u]);
+  EXPECT_LT(pos[u], pos[w]);
+}
+
+TEST(DfgTest, FindNodeAndColor) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  EXPECT_EQ(g.find_node("u"), std::optional<NodeId>(u));
+  EXPECT_FALSE(g.find_node("nope").has_value());
+  EXPECT_EQ(g.find_color("a"), std::optional<ColorId>(a));
+  EXPECT_FALSE(g.find_color("z").has_value());
+}
+
+TEST(DfgTest, SourceAndSinkPredicates) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a, "u");
+  const NodeId v = g.add_node(a, "v");
+  g.add_edge(u, v);
+  EXPECT_TRUE(g.is_source(u));
+  EXPECT_FALSE(g.is_sink(u));
+  EXPECT_TRUE(g.is_sink(v));
+  EXPECT_FALSE(g.is_source(v));
+}
+
+}  // namespace
+}  // namespace mpsched

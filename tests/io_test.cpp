@@ -1,0 +1,101 @@
+// Serialization round-trips and parse-error diagnostics.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "io/dfg_io.hpp"
+#include "io/pattern_io.hpp"
+#include "pattern/parse.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(DfgIoTest, RoundTripPreservesEverything) {
+  const Dfg original = workloads::paper_3dft();
+  const Dfg loaded = dfg_from_text(dfg_to_text(original));
+  EXPECT_EQ(loaded.name(), original.name());
+  ASSERT_EQ(loaded.node_count(), original.node_count());
+  ASSERT_EQ(loaded.edge_count(), original.edge_count());
+  for (NodeId n = 0; n < original.node_count(); ++n) {
+    EXPECT_EQ(loaded.node_name(n), original.node_name(n));
+    EXPECT_EQ(loaded.color_name(loaded.color(n)), original.color_name(original.color(n)));
+    EXPECT_EQ(loaded.succs(n), original.succs(n));  // adjacency order too
+  }
+}
+
+TEST(DfgIoTest, CommentsAndBlankLinesIgnored) {
+  const Dfg g = dfg_from_text(
+      "# a comment\n"
+      "dfg test\n"
+      "\n"
+      "node x a\n"
+      "node y a\n"
+      "edge x y\n");
+  EXPECT_EQ(g.node_count(), 2u);
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(DfgIoTest, ParseErrorsCarryLineNumbers) {
+  try {
+    (void)dfg_from_text("dfg t\nnode x a\nedge x zzz\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("zzz"), std::string::npos);
+  }
+}
+
+TEST(DfgIoTest, RejectsDuplicates) {
+  EXPECT_THROW((void)dfg_from_text("node x a\nnode x a\n"), std::invalid_argument);
+  EXPECT_THROW((void)dfg_from_text("node x a\nnode y a\nedge x y\nedge x y\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)dfg_from_text("dfg a\ndfg b\n"), std::invalid_argument);
+  EXPECT_THROW((void)dfg_from_text("frob x\n"), std::invalid_argument);
+}
+
+TEST(DfgIoTest, RejectsCyclicGraphAtLoad) {
+  EXPECT_THROW(
+      (void)dfg_from_text("node x a\nnode y a\nedge x y\nedge y x\n"),
+      std::runtime_error);
+}
+
+TEST(DfgIoTest, FileSaveAndLoad) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpsched_io_test.dfg").string();
+  const Dfg original = workloads::small_example();
+  save_dfg(original, path);
+  const Dfg loaded = load_dfg(path);
+  EXPECT_EQ(loaded.node_count(), original.node_count());
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_dfg(path), std::runtime_error);  // gone now
+}
+
+TEST(PatternIoTest, RoundTrip) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet original = parse_pattern_set(g, "aabcc aaacc abc");
+  const PatternSet loaded = pattern_set_from_text(g, pattern_set_to_text(g, original));
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) EXPECT_EQ(loaded[i], original[i]);
+}
+
+TEST(PatternIoTest, CommentsIgnored) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet set = pattern_set_from_text(g, "# header\naabcc\n\n# tail\naaacc\n");
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(PatternIoTest, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpsched_patterns_test.txt").string();
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet original = parse_pattern_set(g, "aabcc abc");
+  save_pattern_set(g, original, path);
+  const PatternSet loaded = load_pattern_set(g, path);
+  EXPECT_EQ(loaded.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace mpsched

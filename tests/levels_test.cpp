@@ -1,0 +1,142 @@
+// ASAP / ALAP / Height (paper Eqs. 1-3): closed-form cases plus properties
+// checked across random DAGs with parameterized tests.
+#include <gtest/gtest.h>
+
+#include "graph/levels.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+Dfg chain(std::size_t n) {
+  Dfg g("chain");
+  const ColorId a = g.intern_color("a");
+  for (std::size_t i = 0; i < n; ++i) g.add_node(a);
+  for (std::size_t i = 0; i + 1 < n; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  return g;
+}
+
+TEST(LevelsTest, SingleNode) {
+  Dfg g;
+  g.add_node(g.intern_color("a"), "x");
+  const Levels lv = compute_levels(g);
+  EXPECT_EQ(lv.asap[0], 0);
+  EXPECT_EQ(lv.alap[0], 0);
+  EXPECT_EQ(lv.height[0], 1);
+  EXPECT_EQ(lv.critical_path_length(), 1);
+}
+
+TEST(LevelsTest, ChainLevelsAreSequential) {
+  const Dfg g = chain(5);
+  const Levels lv = compute_levels(g);
+  for (NodeId n = 0; n < 5; ++n) {
+    EXPECT_EQ(lv.asap[n], static_cast<int>(n));
+    EXPECT_EQ(lv.alap[n], static_cast<int>(n));   // chain has zero mobility
+    EXPECT_EQ(lv.height[n], static_cast<int>(5 - n));
+    EXPECT_EQ(lv.mobility(n), 0);
+  }
+  EXPECT_EQ(lv.asap_max, 4);
+  EXPECT_EQ(lv.critical_path_length(), 5);
+}
+
+TEST(LevelsTest, DiamondGivesSlackToShortBranch) {
+  // top → {left, right} → bottom, plus a 2-node right branch.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId top = g.add_node(a, "top");
+  const NodeId left = g.add_node(a, "left");
+  const NodeId r1 = g.add_node(a, "r1");
+  const NodeId r2 = g.add_node(a, "r2");
+  const NodeId bottom = g.add_node(a, "bottom");
+  g.add_edge(top, left);
+  g.add_edge(top, r1);
+  g.add_edge(r1, r2);
+  g.add_edge(left, bottom);
+  g.add_edge(r2, bottom);
+  const Levels lv = compute_levels(g);
+  EXPECT_EQ(lv.asap[left], 1);
+  EXPECT_EQ(lv.alap[left], 2);  // can slip one cycle
+  EXPECT_EQ(lv.mobility(left), 1);
+  EXPECT_EQ(lv.mobility(r1), 0);
+  EXPECT_EQ(lv.mobility(r2), 0);
+  EXPECT_EQ(lv.height[top], 4);
+}
+
+TEST(LevelsTest, IndependentNodesAllSinksAndSources) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 4; ++i) g.add_node(a);
+  const Levels lv = compute_levels(g);
+  for (NodeId n = 0; n < 4; ++n) {
+    EXPECT_EQ(lv.asap[n], 0);
+    EXPECT_EQ(lv.alap[n], 0);
+    EXPECT_EQ(lv.height[n], 1);
+  }
+}
+
+TEST(LevelsTest, ThrowsOnCycle) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId u = g.add_node(a), v = g.add_node(a);
+  g.add_edge(u, v);
+  g.add_edge(v, u);
+  EXPECT_THROW(compute_levels(g), std::runtime_error);
+}
+
+// Property suite over random layered DAGs.
+class LevelsPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LevelsPropertyTest, DefinitionalInvariantsHold) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Levels lv = compute_levels(g);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    // Eq. 1: sources at 0, others one past their max predecessor.
+    if (g.is_source(n)) {
+      EXPECT_EQ(lv.asap[n], 0);
+    } else {
+      int expect = 0;
+      for (const NodeId p : g.preds(n)) expect = std::max(expect, lv.asap[p] + 1);
+      EXPECT_EQ(lv.asap[n], expect);
+    }
+    // Eq. 2: sinks at ASAPmax, others one before their min successor.
+    if (g.is_sink(n)) {
+      EXPECT_EQ(lv.alap[n], lv.asap_max);
+      EXPECT_EQ(lv.height[n], 1);  // Eq. 3 base case
+    } else {
+      int expect_alap = INT_MAX, expect_height = 0;
+      for (const NodeId s : g.succs(n)) {
+        expect_alap = std::min(expect_alap, lv.alap[s] - 1);
+        expect_height = std::max(expect_height, lv.height[s] + 1);
+      }
+      EXPECT_EQ(lv.alap[n], expect_alap);
+      EXPECT_EQ(lv.height[n], expect_height);
+    }
+    // Mobility window is well-formed and inside the schedule range.
+    EXPECT_LE(lv.asap[n], lv.alap[n]);
+    EXPECT_GE(lv.asap[n], 0);
+    EXPECT_LE(lv.alap[n], lv.asap_max);
+    // Height never exceeds the critical path and is at least 1.
+    EXPECT_GE(lv.height[n], 1);
+    EXPECT_LE(lv.height[n], lv.critical_path_length());
+    // A node's height plus its ASAP is bounded by the critical path.
+    EXPECT_LE(lv.asap[n] + lv.height[n], lv.critical_path_length());
+  }
+}
+
+TEST_P(LevelsPropertyTest, CriticalPathNodesExist) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Levels lv = compute_levels(g);
+  // At least one node sits at every level 0..asap_max on a critical path
+  // (mobility 0 nodes chain from a source to a sink).
+  int zero_mobility = 0;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (lv.mobility(n) == 0) ++zero_mobility;
+  EXPECT_GE(zero_mobility, lv.critical_path_length());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, LevelsPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace mpsched

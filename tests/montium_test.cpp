@@ -1,0 +1,176 @@
+// Montium tile model: validation, ALU allocation (correctness + quality),
+// and the executor's constraint checking (including injected violations).
+#include <gtest/gtest.h>
+
+#include "core/mp_schedule.hpp"
+#include "montium/execute.hpp"
+#include "pattern/parse.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(TileTest, ValidatesPatternSizeAndStore) {
+  TileConfig tile;
+  PatternSet ok;
+  ok.insert(Pattern({0, 0, 1}));
+  Dfg g;
+  g.intern_color("a");
+  g.intern_color("b");
+  EXPECT_TRUE(validate_for_tile(ok, tile).ok);
+
+  PatternSet too_big;
+  too_big.insert(Pattern({0, 0, 0, 0, 0, 0}));  // 6 slots > 5 ALUs
+  EXPECT_FALSE(validate_for_tile(too_big, tile).ok);
+
+  TileConfig tiny_store;
+  tiny_store.config_store_entries = 1;
+  PatternSet two;
+  two.insert(Pattern({0}));
+  two.insert(Pattern({1}));
+  EXPECT_FALSE(validate_for_tile(two, tiny_store).ok);
+}
+
+class MontiumScheduleTest : public ::testing::Test {
+ protected:
+  Dfg dfg = workloads::paper_3dft();
+  PatternSet patterns = parse_pattern_set(dfg, "aabcc aaacc");
+  TileConfig tile;
+
+  Schedule make_schedule() {
+    const MpScheduleResult r = multi_pattern_schedule(dfg, patterns);
+    EXPECT_TRUE(r.success);
+    return r.schedule;
+  }
+};
+
+TEST_F(MontiumScheduleTest, AllocationAssignsDistinctAlusPerCycle) {
+  const Schedule s = make_schedule();
+  const Allocation alloc = allocate_alus(dfg, s, tile);
+  ASSERT_EQ(alloc.alu_of.size(), s.cycle_count());
+  std::vector<bool> seen(dfg.node_count(), false);
+  for (const auto& row : alloc.alu_of) {
+    ASSERT_EQ(row.size(), tile.alu_count);
+    for (const NodeId n : row) {
+      if (n == kInvalidNode) continue;
+      EXPECT_FALSE(seen[n]) << "node allocated twice";
+      seen[n] = true;
+    }
+  }
+  for (NodeId n = 0; n < dfg.node_count(); ++n) EXPECT_TRUE(seen[n]);
+}
+
+TEST_F(MontiumScheduleTest, AllocationMinimizesReconfigurationsVsNaive) {
+  const Schedule s = make_schedule();
+  const Allocation smart = allocate_alus(dfg, s, tile);
+
+  // Naive allocation: place ops left-to-right each cycle.
+  std::size_t naive_changes = 0;
+  std::vector<int> fn(tile.alu_count, -1);
+  for (const auto& cycle_nodes : s.cycles()) {
+    for (std::size_t i = 0; i < cycle_nodes.size(); ++i) {
+      const int f = static_cast<int>(dfg.color(cycle_nodes[i]));
+      if (fn[i] != f) {
+        fn[i] = f;
+        ++naive_changes;
+      }
+    }
+  }
+  EXPECT_LE(smart.reconfigurations, naive_changes);
+  // Lower bound: at least one configuration per function that appears.
+  EXPECT_GE(smart.reconfigurations, 3u);  // colors a, b, c all occur
+}
+
+TEST_F(MontiumScheduleTest, PerAluChangesSumToTotal) {
+  const Schedule s = make_schedule();
+  const Allocation alloc = allocate_alus(dfg, s, tile);
+  std::size_t sum = 0;
+  for (const std::size_t c : alloc.per_alu_changes) sum += c;
+  EXPECT_EQ(sum, alloc.reconfigurations);
+}
+
+TEST_F(MontiumScheduleTest, ExecutorAcceptsValidSchedule) {
+  const Schedule s = make_schedule();
+  const ExecutionStats stats = run_schedule(dfg, s, tile, &patterns);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  EXPECT_EQ(stats.operations, dfg.node_count());
+  EXPECT_EQ(stats.cycles, s.cycle_count());
+  // With bookkeeping, store usage counts *given* patterns, not the
+  // per-cycle color multisets.
+  EXPECT_LE(stats.distinct_patterns, patterns.size());
+  EXPECT_GT(stats.energy, 0.0);
+}
+
+TEST_F(MontiumScheduleTest, WithoutPatternSetStoreCountsInducedMultisets) {
+  const Schedule s = make_schedule();
+  const ExecutionStats stats = run_schedule(dfg, s, tile);
+  ASSERT_TRUE(stats.ok) << stats.error;
+  // 7 cycles can induce up to 7 distinct color multisets.
+  EXPECT_GE(stats.distinct_patterns, patterns.size());
+  EXPECT_LE(stats.distinct_patterns, s.cycle_count());
+}
+
+TEST_F(MontiumScheduleTest, ExecutorRejectsDependencyViolation) {
+  Schedule s = make_schedule();
+  // Move a non-source node into cycle 0 alongside its ancestors.
+  const NodeId a17 = *dfg.find_node("a17");
+  s.place(a17, 0);
+  const Allocation alloc = allocate_alus(dfg, s, tile);
+  const ExecutionStats stats = execute_on_tile(dfg, s, alloc, tile);
+  EXPECT_FALSE(stats.ok);
+  EXPECT_NE(stats.error.find("not available"), std::string::npos);
+}
+
+TEST_F(MontiumScheduleTest, ExecutorRejectsDoubleExecution) {
+  const Schedule s = make_schedule();
+  Allocation alloc = allocate_alus(dfg, s, tile);
+  // Duplicate one node onto an idle ALU in a later cycle.
+  const NodeId dup = alloc.alu_of[0][0] != kInvalidNode ? alloc.alu_of[0][0]
+                                                        : alloc.alu_of[0][1];
+  bool injected = false;
+  for (auto& row : alloc.alu_of) {
+    for (auto& slot : row) {
+      if (slot == kInvalidNode && &row != &alloc.alu_of[0]) {
+        slot = dup;
+        injected = true;
+        break;
+      }
+    }
+    if (injected) break;
+  }
+  ASSERT_TRUE(injected);
+  const ExecutionStats stats = execute_on_tile(dfg, s, alloc, tile);
+  EXPECT_FALSE(stats.ok);
+}
+
+TEST_F(MontiumScheduleTest, ExecutorRejectsOverfullConfigStore) {
+  TileConfig strict = tile;
+  strict.config_store_entries = 1;  // the schedule uses ≥ 2 patterns
+  const Schedule s = make_schedule();
+  const ExecutionStats stats = run_schedule(dfg, s, strict);
+  EXPECT_FALSE(stats.ok);
+  EXPECT_NE(stats.error.find("configuration store"), std::string::npos);
+}
+
+TEST_F(MontiumScheduleTest, OverCapacityCycleThrowsInAllocation) {
+  TileConfig tiny = tile;
+  tiny.alu_count = 2;
+  const Schedule s = make_schedule();  // has cycles with up to 5 ops
+  EXPECT_THROW(allocate_alus(dfg, s, tiny), std::runtime_error);
+}
+
+TEST_F(MontiumScheduleTest, EnergyModelWeightsReconfigurations) {
+  const Schedule s = make_schedule();
+  TileConfig cheap = tile;
+  cheap.reconfig_energy = 0.0;
+  TileConfig expensive = tile;
+  expensive.reconfig_energy = 100.0;
+  const ExecutionStats cheap_stats = run_schedule(dfg, s, cheap);
+  const ExecutionStats expensive_stats = run_schedule(dfg, s, expensive);
+  ASSERT_TRUE(cheap_stats.ok && expensive_stats.ok);
+  EXPECT_LT(cheap_stats.energy, expensive_stats.energy);
+  EXPECT_DOUBLE_EQ(cheap_stats.energy, static_cast<double>(dfg.node_count()));
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,193 @@
+// Multi-pattern list scheduler (§4): node priorities, selected sets,
+// F1/F2 rules, tie-breaks, failure modes, and validity properties over
+// random graphs × random pattern sets.
+#include <gtest/gtest.h>
+
+#include "core/mp_schedule.hpp"
+#include "core/node_priority.hpp"
+#include "graph/levels.hpp"
+#include "pattern/parse.hpp"
+#include "pattern/random.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(NodePriorityTest, ParamsSatisfyInequality5Strictly) {
+  const Dfg g = workloads::paper_3dft();
+  const Reachability reach(g);
+  const NodePriorityParams params = derive_priority_params(g, reach);
+  for (NodeId n = 0; n < g.node_count(); ++n) {
+    const auto direct = static_cast<std::int64_t>(g.succs(n).size());
+    const auto all = static_cast<std::int64_t>(reach.followers(n).count());
+    EXPECT_GT(params.t, all);
+    EXPECT_GT(params.s, params.t * direct + all);
+  }
+}
+
+TEST(NodePriorityTest, LexicographicBehaviour) {
+  const Dfg g = workloads::paper_3dft();
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+  const NodePriorities np = compute_node_priorities(g, lv, reach);
+  for (NodeId x = 0; x < g.node_count(); ++x) {
+    for (NodeId y = 0; y < g.node_count(); ++y) {
+      if (lv.height[x] > lv.height[y]) {
+        EXPECT_GT(np.f[x], np.f[y]) << "height must dominate";
+      } else if (lv.height[x] == lv.height[y] &&
+                 np.direct_successors[x] > np.direct_successors[y]) {
+        EXPECT_GT(np.f[x], np.f[y]) << "direct successors break height ties";
+      }
+    }
+  }
+}
+
+TEST(MpScheduleTest, FailsWithoutColorCoverage) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabaa");  // no 'c'
+  const MpScheduleResult result = multi_pattern_schedule(g, patterns);
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("cover"), std::string::npos);
+}
+
+TEST(MpScheduleTest, EmptyPatternSetThrows) {
+  const Dfg g = workloads::small_example();
+  EXPECT_THROW(multi_pattern_schedule(g, PatternSet{}), std::invalid_argument);
+}
+
+TEST(MpScheduleTest, EmptyGraphSucceedsWithZeroCycles) {
+  Dfg g;
+  g.intern_color("a");
+  PatternSet set;
+  set.insert(Pattern({0}));
+  const MpScheduleResult result = multi_pattern_schedule(g, set);
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.cycles, 0u);
+}
+
+TEST(MpScheduleTest, SingleWildPatternActsAsListScheduler) {
+  // With one pattern of five 'a' slots on an all-'a' chain, every cycle
+  // schedules exactly the one ready node.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 6; ++i) g.add_node(a);
+  for (int i = 0; i + 1 < 6; ++i)
+    g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1));
+  PatternSet set;
+  set.insert(Pattern({a, a, a, a, a}));
+  const MpScheduleResult result = multi_pattern_schedule(g, set);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.cycles, 6u);
+}
+
+TEST(MpScheduleTest, SchedulesWideGraphAtFullWidth) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  for (int i = 0; i < 10; ++i) g.add_node(a);
+  PatternSet set;
+  set.insert(Pattern({a, a, a, a, a}));
+  const MpScheduleResult result = multi_pattern_schedule(g, set);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.cycles, 2u);  // ceil(10 / 5)
+}
+
+TEST(MpScheduleTest, TraceOnlyRecordedWhenRequested) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  MpScheduleOptions options;
+  options.record_trace = false;
+  EXPECT_TRUE(multi_pattern_schedule(g, patterns, options).trace.empty());
+  options.record_trace = true;
+  EXPECT_FALSE(multi_pattern_schedule(g, patterns, options).trace.empty());
+}
+
+TEST(MpScheduleTest, TraceTableRendersAllCycles) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  MpScheduleOptions options;
+  options.record_trace = true;
+  const MpScheduleResult result = multi_pattern_schedule(g, patterns, options);
+  const std::string table = result.trace_table(g, patterns);
+  EXPECT_NE(table.find("| 1 |"), std::string::npos);
+  EXPECT_NE(table.find("| 7 |"), std::string::npos);
+  EXPECT_NE(table.find("aabcc"), std::string::npos);
+}
+
+TEST(MpScheduleTest, RecordedCyclePatternsFitUsage) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  const MpScheduleResult result = multi_pattern_schedule(g, patterns);
+  ASSERT_TRUE(result.success);
+  const ScheduleValidation v = validate_schedule(g, result.schedule, patterns);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+TEST(MpScheduleTest, F1AndF2BothProduceValidSchedules) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  for (const PatternRule rule : {PatternRule::F1CoverCount, PatternRule::F2PrioritySum}) {
+    MpScheduleOptions options;
+    options.rule = rule;
+    const MpScheduleResult result = multi_pattern_schedule(g, patterns, options);
+    ASSERT_TRUE(result.success);
+    EXPECT_TRUE(validate_schedule(g, result.schedule, patterns).ok);
+  }
+}
+
+TEST(MpScheduleTest, RandomTieBreakIsSeedDeterministic) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  MpScheduleOptions options;
+  options.tie_break = TieBreak::Random;
+  options.seed = 77;
+  const MpScheduleResult r1 = multi_pattern_schedule(g, patterns, options);
+  const MpScheduleResult r2 = multi_pattern_schedule(g, patterns, options);
+  ASSERT_TRUE(r1.success && r2.success);
+  EXPECT_EQ(r1.cycles, r2.cycles);
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    EXPECT_EQ(r1.schedule.cycle_of(n), r2.schedule.cycle_of(n));
+}
+
+TEST(MpScheduleTest, AllTieBreaksYieldValidSchedules) {
+  const Dfg g = workloads::paper_3dft();
+  const PatternSet patterns = parse_pattern_set(g, "aabcc aaacc");
+  for (const TieBreak tb :
+       {TieBreak::Stable, TieBreak::NodeIdAsc, TieBreak::NodeIdDesc, TieBreak::Random}) {
+    MpScheduleOptions options;
+    options.tie_break = tb;
+    const MpScheduleResult result = multi_pattern_schedule(g, patterns, options);
+    ASSERT_TRUE(result.success);
+    EXPECT_TRUE(validate_schedule(g, result.schedule, patterns).ok);
+    EXPECT_GE(result.cycles, 5u);  // critical path of the 3DFT
+  }
+}
+
+// Property sweep: random graph × random covering pattern set must produce
+// a complete, dependency-correct, resource-correct schedule with at least
+// critical-path length, and never more cycles than nodes.
+class MpSchedulePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MpSchedulePropertyTest, SchedulesAreAlwaysValid) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  Rng rng(GetParam() * 31 + 7);
+  const Levels lv = compute_levels(g);
+  for (std::size_t pdef : {1u, 2u, 4u}) {
+    RandomPatternOptions rpo;
+    rpo.capacity = 5;
+    rpo.count = pdef;
+    const PatternSet patterns = random_pattern_set(g, rng, rpo);
+    const MpScheduleResult result = multi_pattern_schedule(g, patterns);
+    ASSERT_TRUE(result.success) << result.error;
+    const ScheduleValidation v = validate_schedule(g, result.schedule, patterns);
+    EXPECT_TRUE(v.ok) << v.summary();
+    EXPECT_GE(result.cycles, static_cast<std::size_t>(lv.critical_path_length()));
+    EXPECT_LE(result.cycles, g.node_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, MpSchedulePropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606, 707, 808));
+
+}  // namespace
+}  // namespace mpsched

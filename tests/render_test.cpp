@@ -1,0 +1,82 @@
+// DOT export and ASCII Gantt rendering.
+#include <gtest/gtest.h>
+
+#include "core/mp_schedule.hpp"
+#include "graph/dot.hpp"
+#include "montium/allocate.hpp"
+#include "pattern/parse.hpp"
+#include "sched/gantt.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(DotTest, ContainsAllNodesAndEdges) {
+  const Dfg g = workloads::small_example();
+  const std::string dot = to_dot(g);
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    EXPECT_NE(dot.find('"' + g.node_name(n) + '"'), std::string::npos);
+  EXPECT_NE(dot.find("\"a2\" -> \"b4\""), std::string::npos);
+  EXPECT_NE(dot.find("\"a3\" -> \"b5\""), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(DotTest, RankByAsapGroupsLevels) {
+  const Dfg g = workloads::small_example();
+  DotOptions options;
+  options.rank_by_asap = true;
+  const std::string dot = to_dot(g, options);
+  EXPECT_NE(dot.find("rank=same"), std::string::npos);
+  DotOptions no_rank;
+  no_rank.rank_by_asap = false;
+  EXPECT_EQ(to_dot(g, no_rank).find("rank=same"), std::string::npos);
+}
+
+TEST(DotTest, LevelAnnotationsOptIn) {
+  const Dfg g = workloads::small_example();
+  DotOptions options;
+  options.show_levels = true;
+  EXPECT_NE(to_dot(g, options).find("xlabel"), std::string::npos);
+  EXPECT_EQ(to_dot(g).find("xlabel"), std::string::npos);
+}
+
+class GanttTest : public ::testing::Test {
+ protected:
+  Dfg dfg = workloads::paper_3dft();
+  PatternSet patterns = parse_pattern_set(dfg, "aabcc aaacc");
+  MpScheduleResult result = multi_pattern_schedule(dfg, patterns);
+};
+
+TEST_F(GanttTest, ScheduleViewListsEveryNodeOnce) {
+  ASSERT_TRUE(result.success);
+  const std::string gantt = render_gantt(dfg, result.schedule);
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    const std::string& name = dfg.node_name(n);
+    const auto first = gantt.find(" " + name);
+    EXPECT_NE(first, std::string::npos) << name;
+  }
+  // 7 columns (cycles 0..6).
+  EXPECT_NE(gantt.find(" 6"), std::string::npos);
+  EXPECT_EQ(gantt.find(" 7\n"), std::string::npos);
+}
+
+TEST_F(GanttTest, AllocationViewHasFiveAluRows) {
+  ASSERT_TRUE(result.success);
+  const TileConfig tile;
+  const Allocation alloc = allocate_alus(dfg, result.schedule, tile);
+  const std::string gantt = render_gantt(dfg, alloc);
+  EXPECT_NE(gantt.find("ALU 0"), std::string::npos);
+  EXPECT_NE(gantt.find("ALU 4"), std::string::npos);
+  EXPECT_EQ(gantt.find("ALU 5"), std::string::npos);
+  EXPECT_NE(gantt.find(" ."), std::string::npos);  // some idle slots exist
+}
+
+TEST(GanttTest2, EmptyAllocationRendersPlaceholder) {
+  Dfg g;
+  g.intern_color("a");
+  Allocation empty;
+  EXPECT_NE(render_gantt(g, empty).find("empty"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpsched

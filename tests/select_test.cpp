@@ -1,0 +1,183 @@
+// Pattern selection (§5.2): the paper's Fig. 4 walkthrough with exact
+// priority values, the color-number condition, subpattern deletion, the
+// Pdef=1 fallback, and coverage properties over random graphs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/select.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched {
+namespace {
+
+SelectOptions small_options(std::size_t pdef) {
+  SelectOptions o;
+  o.pattern_count = pdef;
+  o.capacity = 2;  // the Fig. 4 example works with two-slot patterns
+  o.epsilon = 0.5;
+  o.alpha = 20.0;
+  o.span_limit = std::nullopt;  // tiny graph; enumerate everything
+  o.record_details = true;
+  return o;
+}
+
+double priority_of(const SelectionStep& step, const Pattern& p) {
+  for (const auto& cand : step.candidates)
+    if (cand.pattern == p) return cand.priority;
+  ADD_FAILURE() << "pattern not among candidates";
+  return -1;
+}
+
+// §5.2 worked example, first pick: f(p1)=26, f(p2)=24, f(p3)=88, f(p4)=84.
+TEST(SelectTest, Fig4FirstIterationPriorities) {
+  const Dfg g = workloads::small_example();
+  const ColorId a = *g.find_color("a");
+  const ColorId b = *g.find_color("b");
+
+  const SelectionResult result = select_patterns(g, small_options(2));
+  ASSERT_EQ(result.steps.size(), 2u);
+  const SelectionStep& first = result.steps[0];
+  ASSERT_EQ(first.candidates.size(), 4u);
+  EXPECT_DOUBLE_EQ(priority_of(first, Pattern({a})), 26.0);
+  EXPECT_DOUBLE_EQ(priority_of(first, Pattern({b})), 24.0);
+  EXPECT_DOUBLE_EQ(priority_of(first, Pattern({a, a})), 88.0);
+  EXPECT_DOUBLE_EQ(priority_of(first, Pattern({b, b})), 84.0);
+  EXPECT_EQ(first.chosen, Pattern({a, a}));
+  // p̄1 = {a} is a subpattern of {aa}: deleted together with the winner.
+  EXPECT_EQ(first.subpatterns_deleted, 2u);
+}
+
+// Second pick: priorities keep their old values (h-sums only cover a-nodes)
+// and {bb} wins over {b} thanks to the α·|p̄|² term.
+TEST(SelectTest, Fig4SecondIterationPrefersBB) {
+  const Dfg g = workloads::small_example();
+  const ColorId b = *g.find_color("b");
+  const SelectionResult result = select_patterns(g, small_options(2));
+  const SelectionStep& second = result.steps[1];
+  ASSERT_EQ(second.candidates.size(), 2u);
+  EXPECT_DOUBLE_EQ(priority_of(second, Pattern({b})), 24.0);
+  EXPECT_DOUBLE_EQ(priority_of(second, Pattern({b, b})), 84.0);
+  EXPECT_EQ(second.chosen, Pattern({b, b}));
+}
+
+// Without the size bonus both {b}-patterns score 4 — the paper's argument
+// for α·|p̄|².
+TEST(SelectTest, Fig4WithoutSizeBonusBPatternsTie) {
+  const Dfg g = workloads::small_example();
+  const ColorId b = *g.find_color("b");
+  SelectOptions o = small_options(2);
+  o.size_bonus = SizeBonus::None;
+  const SelectionResult result = select_patterns(g, o);
+  const SelectionStep& second = result.steps[1];
+  EXPECT_DOUBLE_EQ(priority_of(second, Pattern({b})), 4.0);
+  EXPECT_DOUBLE_EQ(priority_of(second, Pattern({b, b})), 4.0);
+}
+
+// §5.2 Pdef=1: no single generated pattern covers both colors, so the
+// algorithm must fabricate {ab}.
+TEST(SelectTest, Fig4Pdef1FabricatesAB) {
+  const Dfg g = workloads::small_example();
+  const ColorId a = *g.find_color("a");
+  const ColorId b = *g.find_color("b");
+  const SelectionResult result = select_patterns(g, small_options(1));
+  ASSERT_EQ(result.steps.size(), 1u);
+  EXPECT_TRUE(result.steps[0].fabricated);
+  EXPECT_EQ(result.steps[0].chosen, Pattern({a, b}));
+  // And every candidate was rejected by the color-number condition.
+  for (const auto& cand : result.steps[0].candidates)
+    EXPECT_FALSE(cand.passes_color_condition) << cand.pattern.to_string(g);
+}
+
+TEST(SelectTest, SelectedPatternsAreNeverSubpatternsOfEachOther) {
+  const Dfg g = workloads::paper_3dft();
+  SelectOptions o;
+  o.pattern_count = 5;
+  o.capacity = 5;
+  const SelectionResult result = select_patterns(g, o);
+  const auto& ps = result.patterns;
+  for (std::size_t i = 0; i < ps.size(); ++i)
+    for (std::size_t j = 0; j < ps.size(); ++j)
+      if (i != j) {
+        EXPECT_FALSE(ps[i].is_subpattern_of(ps[j]))
+            << ps[i].to_string(g) << " ⊆ " << ps[j].to_string(g);
+      }
+}
+
+TEST(SelectTest, EpsilonGuardsAgainstZeroDivision) {
+  const Dfg g = workloads::small_example();
+  SelectOptions o = small_options(2);
+  o.epsilon = 0.0;
+  EXPECT_THROW(select_patterns(g, o), std::invalid_argument);
+}
+
+TEST(SelectTest, InvalidParametersThrow) {
+  const Dfg g = workloads::small_example();
+  SelectOptions o = small_options(2);
+  o.pattern_count = 0;
+  EXPECT_THROW(select_patterns(g, o), std::invalid_argument);
+  o = small_options(2);
+  o.capacity = 0;
+  EXPECT_THROW(select_patterns(g, o), std::invalid_argument);
+}
+
+// Larger ε damps the balancing term; the first pick is unaffected on the
+// small example (denominators identical across candidates), but priorities
+// scale as expected.
+TEST(SelectTest, EpsilonScalesFirstIterationPriorities) {
+  const Dfg g = workloads::small_example();
+  const ColorId a = *g.find_color("a");
+  SelectOptions o = small_options(2);
+  o.epsilon = 1.0;
+  const SelectionResult result = select_patterns(g, o);
+  // f({a}) = 3·(1/1) + 20 = 23 instead of 26.
+  EXPECT_DOUBLE_EQ(priority_of(result.steps[0], Pattern({a})), 23.0);
+}
+
+// Coverage guarantee across random graphs and all feasible Pdef values —
+// the property the color-number condition exists to enforce.
+class SelectPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectPropertyTest, SelectionAlwaysCoversAllColors) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  std::vector<ColorId> used;
+  {
+    std::vector<bool> seen(g.color_count(), false);
+    for (NodeId n = 0; n < g.node_count(); ++n)
+      if (!seen[g.color(n)]) {
+        seen[g.color(n)] = true;
+        used.push_back(g.color(n));
+      }
+    std::sort(used.begin(), used.end());
+  }
+  for (std::size_t pdef = 1; pdef <= 4; ++pdef) {
+    SelectOptions o;
+    o.pattern_count = pdef;
+    o.capacity = 5;
+    const SelectionResult result = select_patterns(g, o);
+    // Selection may stop early when every candidate pattern has been
+    // absorbed as a subpattern of earlier picks (coverage then holds).
+    EXPECT_LE(result.patterns.size(), pdef);
+    EXPECT_GE(result.patterns.size(), 1u);
+    EXPECT_TRUE(result.patterns.covers(used)) << "Pdef=" << pdef;
+    for (const Pattern& p : result.patterns) EXPECT_LE(p.size(), 5u);
+  }
+}
+
+TEST_P(SelectPropertyTest, DeterministicAcrossRuns) {
+  const Dfg g = workloads::random_layered_dag(GetParam());
+  SelectOptions o;
+  o.pattern_count = 3;
+  const SelectionResult r1 = select_patterns(g, o);
+  const SelectionResult r2 = select_patterns(g, o);
+  ASSERT_EQ(r1.patterns.size(), r2.patterns.size());
+  for (std::size_t i = 0; i < r1.patterns.size(); ++i)
+    EXPECT_EQ(r1.patterns[i], r2.patterns[i]);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, SelectPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,180 @@
+// Transformation phase: CSE and reduction rebalancing.
+#include <gtest/gtest.h>
+
+#include "compiler/transform.hpp"
+#include "graph/levels.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(CseTest, MergesIdenticalOperations) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  const NodeId x = g.add_node(a, "x");
+  const NodeId y = g.add_node(a, "y");
+  // Two identical multiplications of (x, y) feeding different consumers.
+  const NodeId m1 = g.add_node(c, "m1");
+  const NodeId m2 = g.add_node(c, "m2");
+  g.add_edge(x, m1);
+  g.add_edge(y, m1);
+  g.add_edge(x, m2);
+  g.add_edge(y, m2);
+  const NodeId out1 = g.add_node(a, "o1");
+  const NodeId out2 = g.add_node(a, "o2");
+  g.add_edge(m1, out1);
+  g.add_edge(m2, out2);
+
+  const TransformResult r = eliminate_common_subexpressions(g);
+  // m1=m2, and then o1=o2 (same color, same now-merged operand): CSE
+  // cascades to the fixed point.
+  EXPECT_EQ(r.eliminated, 2u);
+  EXPECT_EQ(r.dfg.node_count(), 4u);
+  EXPECT_EQ(r.node_map[m1], r.node_map[m2]);
+  EXPECT_EQ(r.node_map[out1], r.node_map[out2]);
+  const NodeId survivor = r.node_map[m1];
+  EXPECT_EQ(r.dfg.succs(survivor).size(), 1u);
+}
+
+TEST(CseTest, DistinctOperandsNotMerged) {
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const NodeId x = g.add_node(a, "x");
+  const NodeId y = g.add_node(a, "y");
+  const NodeId s1 = g.add_node(a, "s1");
+  const NodeId s2 = g.add_node(a, "s2");
+  g.add_edge(x, s1);
+  g.add_edge(x, s2);
+  g.add_edge(y, s2);  // different operand sets
+  const TransformResult r = eliminate_common_subexpressions(g);
+  EXPECT_EQ(r.eliminated, 0u);
+  EXPECT_EQ(r.dfg.node_count(), 4u);
+}
+
+TEST(CseTest, SourcesNeverMerged) {
+  // Inputs are external and positionally distinct: two source nodes of the
+  // same color must both survive.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  g.add_node(a, "x");
+  g.add_node(a, "y");
+  const TransformResult r = eliminate_common_subexpressions(g);
+  EXPECT_EQ(r.eliminated, 0u);
+  EXPECT_EQ(r.dfg.node_count(), 2u);
+}
+
+TEST(CseTest, CascadesToFixedPoint) {
+  // Duplicate subtrees: the root duplicates only merge after their
+  // operands merged.
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  const NodeId x = g.add_node(a, "x");
+  const NodeId m1 = g.add_node(c, "m1");
+  const NodeId m2 = g.add_node(c, "m2");
+  g.add_edge(x, m1);
+  g.add_edge(x, m2);
+  const NodeId r1 = g.add_node(a, "r1");
+  const NodeId r2 = g.add_node(a, "r2");
+  g.add_edge(m1, r1);
+  g.add_edge(m2, r2);
+  const NodeId sink1 = g.add_node(c, "s1");
+  const NodeId sink2 = g.add_node(c, "s2");
+  g.add_edge(r1, sink1);
+  g.add_edge(r2, sink2);
+
+  const TransformResult r = eliminate_common_subexpressions(g);
+  // m1=m2, then r1=r2, then s1=s2: three merges, four nodes remain.
+  EXPECT_EQ(r.eliminated, 3u);
+  EXPECT_EQ(r.dfg.node_count(), 4u);
+}
+
+TEST(CseTest, PaperGraphUnaffected) {
+  // The reconstruction has no duplicate ops; CSE must be the identity.
+  const Dfg g = workloads::paper_3dft();
+  const TransformResult r = eliminate_common_subexpressions(g);
+  EXPECT_EQ(r.eliminated, 0u);
+  EXPECT_EQ(r.dfg.node_count(), g.node_count());
+  EXPECT_EQ(r.dfg.edge_count(), g.edge_count());
+}
+
+Dfg add_chain(std::size_t terms) {
+  // acc = ((t1+t2)+t3)+...  — left-leaning addition chain over external
+  // inputs, each + also consumes one fresh producer node ("mul" feeders).
+  Dfg g;
+  const ColorId a = g.intern_color("a");
+  const ColorId c = g.intern_color("c");
+  std::vector<NodeId> feeders;
+  for (std::size_t i = 0; i < terms; ++i) feeders.push_back(g.add_node(c));
+  NodeId acc = g.add_node(a);
+  g.add_edge(feeders[0], acc);
+  g.add_edge(feeders[1], acc);
+  for (std::size_t i = 2; i < terms; ++i) {
+    const NodeId next = g.add_node(a);
+    g.add_edge(acc, next);
+    g.add_edge(feeders[i], next);
+    acc = next;
+  }
+  return g;
+}
+
+TEST(RebalanceTest, ChainBecomesLogDepthTree) {
+  const Dfg g = add_chain(8);  // 8 feeders, 7-link chain
+  const int before = compute_levels(g).critical_path_length();
+  EXPECT_EQ(before, 1 + 7);  // feeder + chain
+
+  const TransformResult r = rebalance_reductions(g, *g.find_color("a"));
+  EXPECT_GT(r.rebalanced, 0u);
+  r.dfg.validate();
+  EXPECT_EQ(r.dfg.node_count(), g.node_count());  // same op count
+  const int after = compute_levels(r.dfg).critical_path_length();
+  EXPECT_EQ(after, 1 + 3);  // feeder + ceil(log2(8))
+}
+
+TEST(RebalanceTest, ShortChainsLeftAlone) {
+  const Dfg g = add_chain(3);  // 2-link chain: below the depth-3 threshold
+  const TransformResult r = rebalance_reductions(g, *g.find_color("a"));
+  EXPECT_EQ(r.rebalanced, 0u);
+  EXPECT_EQ(r.dfg.edge_count(), g.edge_count());
+}
+
+TEST(RebalanceTest, BalancedTreeIsFixpoint) {
+  const Dfg fir = workloads::fir_filter(16);  // already a balanced tree
+  const TransformResult r = rebalance_reductions(fir, *fir.find_color("a"));
+  EXPECT_EQ(compute_levels(r.dfg).critical_path_length(),
+            compute_levels(fir).critical_path_length());
+}
+
+TEST(RebalanceTest, MultiUseLinksBreakChains) {
+  // A chain whose middle value has a second consumer cannot be rewritten
+  // across that point.
+  Dfg g = add_chain(6);
+  const ColorId c = *g.find_color("c");
+  // Find a middle 'a' node and attach an extra consumer.
+  NodeId middle = kInvalidNode;
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    if (g.color(n) == *g.find_color("a") && !g.is_sink(n)) middle = n;
+  ASSERT_NE(middle, kInvalidNode);
+  const NodeId extra = g.add_node(c, "extra");
+  g.add_edge(middle, extra);
+
+  const TransformResult r = rebalance_reductions(g, *g.find_color("a"));
+  r.dfg.validate();
+  // Rewriting still happens below/above the cut but never changes op count.
+  EXPECT_EQ(r.dfg.node_count(), g.node_count());
+}
+
+TEST(TransformTest, FullPhaseComposesMaps) {
+  const Dfg g = add_chain(8);
+  const TransformResult r = transform_dfg(g, {*g.find_color("a")});
+  r.dfg.validate();
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    EXPECT_NE(r.node_map[n], kInvalidNode);
+  EXPECT_LT(compute_levels(r.dfg).critical_path_length(),
+            compute_levels(g).critical_path_length());
+}
+
+}  // namespace
+}  // namespace mpsched

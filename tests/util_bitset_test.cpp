@@ -1,0 +1,119 @@
+// DynamicBitset unit + property tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/bitset.hpp"
+#include "util/rng.hpp"
+
+namespace mpsched {
+namespace {
+
+TEST(BitsetTest, StartsEmpty) {
+  DynamicBitset b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  EXPECT_FALSE(b.any());
+}
+
+TEST(BitsetTest, SetResetTest) {
+  DynamicBitset b(100);
+  b.set(0);
+  b.set(63);
+  b.set(64);
+  b.set(99);
+  EXPECT_TRUE(b.test(0));
+  EXPECT_TRUE(b.test(63));
+  EXPECT_TRUE(b.test(64));
+  EXPECT_TRUE(b.test(99));
+  EXPECT_FALSE(b.test(1));
+  EXPECT_EQ(b.count(), 4u);
+  b.reset(63);
+  EXPECT_FALSE(b.test(63));
+  EXPECT_EQ(b.count(), 3u);
+}
+
+TEST(BitsetTest, SetAllRespectsSize) {
+  DynamicBitset b(70);
+  b.set_all();
+  EXPECT_EQ(b.count(), 70u);
+}
+
+TEST(BitsetTest, FindNextWalksSetBits) {
+  DynamicBitset b(200);
+  b.set(3);
+  b.set(64);
+  b.set(199);
+  EXPECT_EQ(b.find_first(), 3u);
+  EXPECT_EQ(b.find_next(4), 64u);
+  EXPECT_EQ(b.find_next(65), 199u);
+  EXPECT_EQ(b.find_next(200), 200u);  // past the end
+}
+
+TEST(BitsetTest, FindNextOnEmpty) {
+  DynamicBitset b(10);
+  EXPECT_EQ(b.find_first(), 10u);
+}
+
+TEST(BitsetTest, BitwiseOperators) {
+  DynamicBitset x(80), y(80);
+  x.set(1);
+  x.set(70);
+  y.set(70);
+  y.set(2);
+  EXPECT_TRUE(x.intersects(y));
+  const DynamicBitset both = x & y;
+  EXPECT_EQ(both.count(), 1u);
+  EXPECT_TRUE(both.test(70));
+  const DynamicBitset either = x | y;
+  EXPECT_EQ(either.count(), 3u);
+  const DynamicBitset diff = x ^ y;
+  EXPECT_EQ(diff.count(), 2u);
+  EXPECT_FALSE(diff.test(70));
+}
+
+TEST(BitsetTest, SubsetRelation) {
+  DynamicBitset small(50), big(50);
+  small.set(5);
+  big.set(5);
+  big.set(9);
+  EXPECT_TRUE(small.is_subset_of(big));
+  EXPECT_FALSE(big.is_subset_of(small));
+  EXPECT_TRUE(small.is_subset_of(small));
+}
+
+TEST(BitsetTest, ForEachVisitsAscending) {
+  DynamicBitset b(128);
+  b.set(127);
+  b.set(0);
+  b.set(65);
+  std::vector<std::size_t> seen;
+  b.for_each([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{0, 65, 127}));
+  EXPECT_EQ(b.to_indices(), seen);
+}
+
+// Property: bitset behaviour matches std::set under random operations.
+TEST(BitsetTest, MatchesReferenceSetUnderRandomOps) {
+  Rng rng(42);
+  const std::size_t n = 300;
+  DynamicBitset b(n);
+  std::set<std::size_t> reference;
+  for (int step = 0; step < 2000; ++step) {
+    const auto i = static_cast<std::size_t>(rng.below(n));
+    if (rng.chance(0.5)) {
+      b.set(i);
+      reference.insert(i);
+    } else {
+      b.reset(i);
+      reference.erase(i);
+    }
+  }
+  EXPECT_EQ(b.count(), reference.size());
+  std::vector<std::size_t> expected(reference.begin(), reference.end());
+  EXPECT_EQ(b.to_indices(), expected);
+}
+
+}  // namespace
+}  // namespace mpsched
