@@ -18,7 +18,9 @@ inline void banner(const std::string& experiment, const std::string& description
 inline std::string match(long long paper, long long measured) {
   if (paper == measured) return "exact";
   const long long d = measured - paper;
-  return (d > 0 ? "+" : "") + std::to_string(d);
+  std::string delta = std::to_string(d);
+  if (d > 0) delta.insert(delta.begin(), '+');
+  return delta;
 }
 
 inline std::string match(double paper, double measured, double tol = 1e-9) {

@@ -21,7 +21,12 @@ ColorId Dfg::intern_color(std::string_view color_name) {
 NodeId Dfg::add_node(ColorId color, std::string node_name) {
   MPSCHED_REQUIRE(color < color_names_.size(), "unknown color id");
   const auto id = static_cast<NodeId>(node_count());
-  if (node_name.empty()) node_name = "n" + std::to_string(id);
+  if (node_name.empty()) {
+    // Built as to_string + insert rather than "n" + to_string(id): gcc 12's
+    // -Wrestrict false-positives on operator+(const char*, string&&).
+    node_name = std::to_string(id);
+    node_name.insert(node_name.begin(), 'n');
+  }
   MPSCHED_REQUIRE(node_index_.find(node_name) == node_index_.end(),
                   "duplicate node name '" + node_name + "'");
   colors_.push_back(color);

@@ -10,8 +10,8 @@
 #include "sched/force_directed.hpp"
 #include "sched/list_schedule.hpp"
 #include "sched/optimal.hpp"
+#include "test_util.hpp"
 #include "workloads/paper_graphs.hpp"
-#include "workloads/random_dag.hpp"
 
 namespace mpsched {
 namespace {
@@ -153,11 +153,7 @@ TEST(OptimalTest, HeuristicNeverBeatsOracleOnPaperGraph) {
 class OracleComparisonTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(OracleComparisonTest, HeuristicWithinOracleOnSmallRandomGraphs) {
-  workloads::LayeredDagOptions dag_options;
-  dag_options.layers = 3;
-  dag_options.min_width = 2;
-  dag_options.max_width = 4;
-  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+  const Dfg g = test::small_random_dag(GetParam());
 
   SelectOptions so;
   so.pattern_count = 2;

@@ -11,10 +11,8 @@
 #include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "montium/execute.hpp"
-#include "pattern/random.hpp"
 #include "sched/optimal.hpp"
-#include "util/rng.hpp"
-#include "workloads/random_dag.hpp"
+#include "test_util.hpp"
 
 namespace mpsched {
 namespace {
@@ -28,18 +26,11 @@ EnumerateOptions size_only(std::size_t max_size) {
 class HeuristicVsOptimalTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(HeuristicVsOptimalTest, HeuristicNeverBeatsAndTracksOptimal) {
-  workloads::LayeredDagOptions dag_options;
-  dag_options.layers = 3;
-  dag_options.min_width = 2;
-  dag_options.max_width = 4;
-  const Dfg g = workloads::random_layered_dag(GetParam(), dag_options);
+  const Dfg g = test::small_random_dag(GetParam());
   Rng rng(GetParam() * 977 + 3);
 
   for (int trial = 0; trial < 3; ++trial) {
-    RandomPatternOptions rpo;
-    rpo.capacity = 3;
-    rpo.count = 2;
-    const PatternSet patterns = random_pattern_set(g, rng, rpo);
+    const PatternSet patterns = test::random_patterns(g, rng, 2, 3);
     const MpScheduleResult heuristic = multi_pattern_schedule(g, patterns);
     ASSERT_TRUE(heuristic.success);
     OptimalOptions oo;
@@ -94,12 +85,9 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AnalyticAgreementTest,
 class ExecutorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(ExecutorFuzzTest, ExecutorAndValidatorAgreeOnPerturbedSchedules) {
-  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Dfg g = test::random_dag(GetParam());
   Rng rng(GetParam() * 31 + 1);
-  RandomPatternOptions rpo;
-  rpo.capacity = 5;
-  rpo.count = 3;
-  const PatternSet patterns = random_pattern_set(g, rng, rpo);
+  const PatternSet patterns = test::random_patterns(g, rng, 3);
   const MpScheduleResult r = multi_pattern_schedule(g, patterns);
   ASSERT_TRUE(r.success);
 

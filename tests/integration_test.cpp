@@ -9,11 +9,10 @@
 #include "core/select.hpp"
 #include "graph/levels.hpp"
 #include "montium/execute.hpp"
-#include "pattern/random.hpp"
+#include "test_util.hpp"
 #include "workloads/dft.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/paper_graphs.hpp"
-#include "workloads/random_dag.hpp"
 
 namespace mpsched {
 namespace {
@@ -73,10 +72,7 @@ TEST(IntegrationTest, SelectedPatternsBeatRandomOnAverage) {
       double random_total = 0;
       const int trials = 10;
       for (int t = 0; t < trials; ++t) {
-        RandomPatternOptions rpo;
-        rpo.capacity = 5;
-        rpo.count = pdef;
-        const PatternSet random_set = random_pattern_set(wc.dfg, rng, rpo);
+        const PatternSet random_set = test::random_patterns(wc.dfg, rng, pdef);
         const MpScheduleResult r = multi_pattern_schedule(wc.dfg, random_set);
         ASSERT_TRUE(r.success) << wc.name;
         random_total += static_cast<double>(r.cycles);
@@ -139,7 +135,7 @@ TEST(IntegrationTest, SelectionRespectsConfigStore) {
 class RandomChainIntegrationTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(RandomChainIntegrationTest, CompileRandomGraphs) {
-  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Dfg g = test::random_dag(GetParam());
   CompileOptions options;
   options.pattern_count = 3;
   const CompileReport report = compile(g, options);

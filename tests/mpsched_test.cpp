@@ -7,9 +7,8 @@
 #include "core/node_priority.hpp"
 #include "graph/levels.hpp"
 #include "pattern/parse.hpp"
-#include "pattern/random.hpp"
+#include "test_util.hpp"
 #include "workloads/paper_graphs.hpp"
-#include "workloads/random_dag.hpp"
 
 namespace mpsched {
 namespace {
@@ -169,20 +168,12 @@ TEST(MpScheduleTest, AllTieBreaksYieldValidSchedules) {
 class MpSchedulePropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(MpSchedulePropertyTest, SchedulesAreAlwaysValid) {
-  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Dfg g = test::random_dag(GetParam());
   Rng rng(GetParam() * 31 + 7);
-  const Levels lv = compute_levels(g);
   for (std::size_t pdef : {1u, 2u, 4u}) {
-    RandomPatternOptions rpo;
-    rpo.capacity = 5;
-    rpo.count = pdef;
-    const PatternSet patterns = random_pattern_set(g, rng, rpo);
+    const PatternSet patterns = test::random_patterns(g, rng, pdef);
     const MpScheduleResult result = multi_pattern_schedule(g, patterns);
-    ASSERT_TRUE(result.success) << result.error;
-    const ScheduleValidation v = validate_schedule(g, result.schedule, patterns);
-    EXPECT_TRUE(v.ok) << v.summary();
-    EXPECT_GE(result.cycles, static_cast<std::size_t>(lv.critical_path_length()));
-    EXPECT_LE(result.cycles, g.node_count());
+    ASSERT_NO_FATAL_FAILURE(test::expect_valid_schedule(g, result, patterns));
   }
 }
 

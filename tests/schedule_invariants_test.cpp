@@ -1,0 +1,75 @@
+// Schedule-invariant property sweep (§4): for random graphs × pattern
+// sets — both randomly drawn and produced by the §5.2 selection under each
+// generation mode — every schedule the multi-pattern scheduler emits must
+//   (1) respect precedence (each node strictly after all predecessors),
+//   (2) respect the pattern capacity C (≤ C operations per cycle, and the
+//       cycle's induced color multiset fits some pattern of the set),
+//   (3) cover all nodes (completeness).
+// The checks here walk the schedule directly so they stay independent of
+// validate_schedule, which expect_valid_schedule exercises on top.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "sched/schedule.hpp"
+#include "test_util.hpp"
+
+namespace mpsched {
+namespace {
+
+constexpr std::size_t kCapacity = 5;
+
+void check_section4_invariants(const Dfg& g, const Schedule& s,
+                               const PatternSet& patterns) {
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    ASSERT_TRUE(s.is_scheduled(n)) << "node " << n << " left unscheduled";
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    for (const NodeId p : g.preds(n))
+      EXPECT_LT(s.cycle_of(p), s.cycle_of(n))
+          << "node " << n << " runs no later than predecessor " << p;
+  for (const auto& cycle_nodes : s.cycles()) {
+    EXPECT_LE(cycle_nodes.size(), kCapacity) << "cycle exceeds capacity C";
+    const Pattern used = induced_pattern(g, cycle_nodes);
+    const bool fits = std::any_of(
+        patterns.begin(), patterns.end(),
+        [&](const Pattern& p) { return used.is_subpattern_of(p); });
+    EXPECT_TRUE(fits) << "cycle color usage " << used.to_string(g)
+                      << " fits no pattern of the set";
+  }
+}
+
+class ScheduleInvariantsTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ScheduleInvariantsTest, SelectedPatternsUnderBothGenerationModes) {
+  const Dfg g = test::random_dag(GetParam());
+  for (const PatternGeneration generation :
+       {PatternGeneration::SpanLimitedEnumeration, PatternGeneration::LevelAnalytic}) {
+    SelectOptions so;
+    so.pattern_count = 3;
+    so.capacity = kCapacity;
+    so.generation = generation;
+    const SelectionResult sel = select_patterns(g, so);
+    const MpScheduleResult result = multi_pattern_schedule(g, sel.patterns);
+    ASSERT_NO_FATAL_FAILURE(test::expect_valid_schedule(g, result, sel.patterns));
+    check_section4_invariants(g, result.schedule, sel.patterns);
+  }
+}
+
+TEST_P(ScheduleInvariantsTest, RandomPatternSets) {
+  const Dfg g = test::random_dag(GetParam());
+  Rng rng(GetParam() * 131 + 17);
+  for (std::size_t pdef : {1u, 2u, 3u}) {
+    const PatternSet patterns = test::random_patterns(g, rng, pdef, kCapacity);
+    const MpScheduleResult result = multi_pattern_schedule(g, patterns);
+    ASSERT_NO_FATAL_FAILURE(test::expect_valid_schedule(g, result, patterns));
+    check_section4_invariants(g, result.schedule, patterns);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDags, ScheduleInvariantsTest,
+                         ::testing::Values(17, 29, 43, 59, 71, 83, 97, 113));
+
+}  // namespace
+}  // namespace mpsched

@@ -6,8 +6,8 @@
 #include <cmath>
 
 #include "core/select.hpp"
+#include "test_util.hpp"
 #include "workloads/paper_graphs.hpp"
-#include "workloads/random_dag.hpp"
 
 namespace mpsched {
 namespace {
@@ -140,7 +140,7 @@ TEST(SelectTest, EpsilonScalesFirstIterationPriorities) {
 class SelectPropertyTest : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(SelectPropertyTest, SelectionAlwaysCoversAllColors) {
-  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Dfg g = test::random_dag(GetParam());
   std::vector<ColorId> used;
   {
     std::vector<bool> seen(g.color_count(), false);
@@ -166,7 +166,7 @@ TEST_P(SelectPropertyTest, SelectionAlwaysCoversAllColors) {
 }
 
 TEST_P(SelectPropertyTest, DeterministicAcrossRuns) {
-  const Dfg g = workloads::random_layered_dag(GetParam());
+  const Dfg g = test::random_dag(GetParam());
   SelectOptions o;
   o.pattern_count = 3;
   const SelectionResult r1 = select_patterns(g, o);

@@ -1,0 +1,68 @@
+// Shared deterministic fixtures for the test suites: seeded DAG and
+// pattern-set builders plus the §4 schedule-validity assertion helper, so
+// individual suites stop re-rolling their own copies of this setup.
+//
+// Everything here is fully determined by the seeds passed in — no global
+// state, no time-based entropy — so any failure reproduces from the gtest
+// parameter alone.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "core/mp_schedule.hpp"
+#include "graph/levels.hpp"
+#include "pattern/random.hpp"
+#include "sched/schedule.hpp"
+#include "util/rng.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched::test {
+
+/// Seeded layered random DAG with the default distribution shared across
+/// property suites (6 layers, width 2–8, DSP-style color mix).
+inline Dfg random_dag(std::uint64_t seed,
+                      const workloads::LayeredDagOptions& options = {}) {
+  return workloads::random_layered_dag(seed, options);
+}
+
+/// Small layered DAG (3 layers, width 2–4) for sweeps that pair the
+/// heuristic with exhaustive/optimal baselines.
+inline Dfg small_random_dag(std::uint64_t seed) {
+  workloads::LayeredDagOptions options;
+  options.layers = 3;
+  options.min_width = 2;
+  options.max_width = 4;
+  return workloads::random_layered_dag(seed, options);
+}
+
+/// Seeded covering pattern set drawn from an explicit Rng, for sweeps that
+/// take several draws from one stream.
+inline PatternSet random_patterns(const Dfg& g, Rng& rng, std::size_t count,
+                                  std::size_t capacity = 5) {
+  RandomPatternOptions options;
+  options.capacity = capacity;
+  options.count = count;
+  return random_pattern_set(g, rng, options);
+}
+
+/// Asserts the §4 validity properties on a scheduler result: the run
+/// succeeded, every node is placed after its predecessors, every cycle's
+/// color usage fits a pattern of `patterns`, and the cycle count is sane
+/// (≥ critical path, ≤ one node per cycle). Contains fatal assertions —
+/// call through ASSERT_NO_FATAL_FAILURE when later statements depend on
+/// the schedule being valid.
+inline void expect_valid_schedule(const Dfg& g, const MpScheduleResult& result,
+                                  const PatternSet& patterns) {
+  ASSERT_TRUE(result.success) << result.error;
+  const ScheduleValidation v = validate_schedule(g, result.schedule, patterns);
+  EXPECT_TRUE(v.ok) << v.summary();
+  EXPECT_LE(result.cycles, g.node_count());
+  if (g.node_count() > 0) {
+    const Levels lv = compute_levels(g);
+    EXPECT_GE(result.cycles, static_cast<std::size_t>(lv.critical_path_length()));
+  }
+}
+
+}  // namespace mpsched::test
