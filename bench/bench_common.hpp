@@ -30,4 +30,42 @@ inline std::string match(double paper, double measured, double tol = 1e-9) {
   return buf;
 }
 
+/// Hard-assertion collector: turns a harness's paper-vs-measured "match"
+/// columns into a regression gate. Every check() is an assertion; finish()
+/// prints a verdict and yields main()'s exit status, so the `bench-smoke`
+/// ctest label fails the moment a reproduced value drifts.
+class Gate {
+ public:
+  void check(bool ok, const std::string& what) {
+    ++checks_;
+    if (!ok) {
+      ++failures_;
+      std::printf("ASSERTION FAILED: %s\n", what.c_str());
+    }
+  }
+
+  /// Equality assertion with a formatted paper-vs-measured message.
+  void check_eq(long long paper, long long measured, const std::string& what) {
+    check(paper == measured, what + ": paper=" + std::to_string(paper) +
+                                 " measured=" + std::to_string(measured));
+  }
+
+  int failures() const { return failures_; }
+
+  /// Prints the verdict; returns the process exit code.
+  int finish(const std::string& experiment) const {
+    if (failures_ == 0) {
+      std::printf("\n[PASS] %s — all %d assertions hold\n", experiment.c_str(), checks_);
+      return 0;
+    }
+    std::printf("\n[FAIL] %s — %d of %d assertions failed\n", experiment.c_str(), failures_,
+                checks_);
+    return 1;
+  }
+
+ private:
+  int checks_ = 0;
+  int failures_ = 0;
+};
+
 }  // namespace mpsched::bench

@@ -33,6 +33,7 @@ int main() {
   const AntichainAnalysis analysis = enumerate_antichains(dfg, options);
 
   TextTable t({"span limit", "size 1", "size 2", "size 3", "size 4", "size 5"});
+  bench::Gate gate;
   int exact_cells = 0;
   for (int limit = 4; limit >= 0; --limit) {
     std::vector<std::string> row{"<= " + std::to_string(limit)};
@@ -40,6 +41,25 @@ int main() {
       const std::uint64_t measured = analysis.count_with_span_at_most(size, limit);
       const std::uint64_t expected = paper[4 - limit][size - 1];
       if (measured == expected) ++exact_cells;
+      const std::string cell = "size " + std::to_string(size) + " span<=" +
+                               std::to_string(limit);
+      if (size <= 2) {
+        // Sizes 1-2 are fully pinned by Tables 1-2: exact or regression.
+        gate.check_eq(static_cast<long long>(expected), static_cast<long long>(measured),
+                      "pinned cell " + cell);
+      } else {
+        // Sizes 3-5 depend on unpublished fine structure; the
+        // reconstruction historically lands within ~3.6%. Gate at 4% so
+        // any drift in the enumerator or the graph fails the smoke test.
+        // expected == 0 with any measured count is a full miss, not 0%.
+        const double rel = expected == 0
+                               ? (measured == 0 ? 0.0 : 1.0)
+                               : std::abs(static_cast<double>(measured) -
+                                          static_cast<double>(expected)) /
+                                     static_cast<double>(expected);
+        gate.check(rel <= 0.04, "unpinned cell " + cell + " deviates " +
+                                     std::to_string(rel * 100) + "% (> 4%)");
+      }
       row.push_back(std::to_string(expected) + "/" + std::to_string(measured));
     }
     t.add_row(std::move(row));
@@ -62,5 +82,5 @@ int main() {
     }
   }
   std::printf("Worst relative deviation in sizes 3-5: %.1f%%\n", worst * 100);
-  return exact_cells >= 10 ? 0 : 1;
+  return gate.finish("Table 5 (10 pinned cells exact, 15 unpinned within 4%)");
 }

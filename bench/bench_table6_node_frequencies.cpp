@@ -30,25 +30,27 @@ int main() {
   };
 
   TextTable t({"pattern", "a1", "a2", "a3", "b4", "b5", "match"});
-  int mismatches = 0;
+  bench::Gate gate;
   for (const auto& row : paper) {
     const PatternAntichains* pa = nullptr;
     for (const auto& candidate : analysis.per_pattern)
       if (candidate.pattern.to_string(dfg) == row.pattern) pa = &candidate;
+    gate.check(pa != nullptr, std::string("pattern '") + row.pattern + "' was enumerated");
     std::vector<std::string> cells{row.pattern};
     bool ok = pa != nullptr;
     for (int i = 0; i < 5; ++i) {
       const std::uint64_t measured =
           pa == nullptr ? 0 : pa->node_frequency[*dfg.find_node(node_names[i])];
       ok = ok && measured == row.freq[i];
+      gate.check_eq(static_cast<long long>(row.freq[i]), static_cast<long long>(measured),
+                    std::string("h(") + row.pattern + ", " + node_names[i] + ")");
       cells.push_back(std::to_string(row.freq[i]) + "/" + std::to_string(measured));
     }
-    if (!ok) ++mismatches;
     cells.push_back(ok ? "exact" : "DIFFERS");
     t.add_row(std::move(cells));
   }
   std::printf("cells are paper/ours\n\n%s", t.to_string().c_str());
-  std::printf("\nResult: %s\n", mismatches == 0 ? "Table 6 reproduced exactly"
-                                                : "MISMATCH — see rows above");
-  return mismatches == 0 ? 0 : 1;
+  std::printf("\nResult: %s\n", gate.failures() == 0 ? "Table 6 reproduced exactly"
+                                                     : "MISMATCH — see rows above");
+  return gate.finish("Table 6 (4 patterns x 5 node frequencies)");
 }

@@ -91,6 +91,55 @@ void enumerate_from_root(const SearchContext& ctx, Accumulator& acc, NodeId root
   extend(ctx, acc, stack, ctx.reach.parallel_mask(root), tracker);
 }
 
+/// Folds one partial per-pattern record into a merge entry.
+void accumulate_entry(Accumulator::Entry& dst, std::uint64_t count,
+                      const std::vector<std::uint64_t>& node_frequency,
+                      std::vector<std::vector<NodeId>>&& members,
+                      std::size_t node_count) {
+  dst.count += count;
+  if (dst.node_frequency.empty()) dst.node_frequency.assign(node_count, 0);
+  MPSCHED_REQUIRE(node_frequency.size() == node_count,
+                  "node_frequency does not match node_count");
+  for (std::size_t i = 0; i < node_count; ++i)
+    dst.node_frequency[i] += node_frequency[i];
+  for (auto& m : members) dst.members.push_back(std::move(m));
+}
+
+/// Shared precondition checks for every enumeration entry point; returns
+/// the span limit clamped to ASAPmax (spans can never exceed it).
+int validate_and_clamp_span(const Dfg& dfg, const Levels& levels,
+                            const Reachability& reach, const EnumerateOptions& options) {
+  MPSCHED_REQUIRE(options.max_size >= 1, "max_size must be at least 1");
+  MPSCHED_REQUIRE(levels.asap.size() == dfg.node_count(),
+                  "levels do not belong to this graph");
+  MPSCHED_REQUIRE(reach.node_count() == dfg.node_count(),
+                  "reachability does not belong to this graph");
+  MPSCHED_REQUIRE(!options.span_limit || *options.span_limit >= 0,
+                  "span limit must be non-negative");
+  const int span_cap = levels.asap_max;
+  return options.span_limit.has_value() ? std::min(*options.span_limit, span_cap)
+                                        : span_cap;
+}
+
+/// Ordered merge map → the canonical sorted per_pattern vector. The single
+/// emission point for every enumeration path keeps sharded-and-merged
+/// output bit-identical to the monolithic enumerator by construction.
+std::vector<PatternAntichains> emit_per_pattern(
+    std::map<Pattern, Accumulator::Entry>&& merged, bool sort_members) {
+  std::vector<PatternAntichains> out;
+  out.reserve(merged.size());
+  for (auto& [pattern, entry] : merged) {
+    PatternAntichains pa;
+    pa.pattern = pattern;
+    pa.antichain_count = entry.count;
+    pa.node_frequency = std::move(entry.node_frequency);
+    pa.members = std::move(entry.members);
+    if (sort_members) std::sort(pa.members.begin(), pa.members.end());
+    out.push_back(std::move(pa));
+  }
+  return out;
+}
+
 }  // namespace
 
 std::uint64_t AntichainAnalysis::count_with_span_at_most(std::size_t size, int limit) const {
@@ -111,17 +160,8 @@ const PatternAntichains* AntichainAnalysis::find(const Pattern& p) const {
 AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
                                        const Reachability& reach,
                                        const EnumerateOptions& options) {
-  MPSCHED_REQUIRE(options.max_size >= 1, "max_size must be at least 1");
-  MPSCHED_REQUIRE(levels.asap.size() == dfg.node_count(),
-                  "levels do not belong to this graph");
-  MPSCHED_REQUIRE(reach.node_count() == dfg.node_count(),
-                  "reachability does not belong to this graph");
-
-  const int span_cap = levels.asap_max;  // spans can never exceed ASAPmax
-  const int effective_limit =
-      options.span_limit.has_value() ? std::min(*options.span_limit, span_cap) : span_cap;
-  MPSCHED_REQUIRE(!options.span_limit || *options.span_limit >= 0,
-                  "span limit must be non-negative");
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
+  const int span_cap = levels.asap_max;
 
   std::atomic<std::uint64_t> global_count{0};
   SearchContext ctx{dfg, levels, reach, options, effective_limit, &global_count};
@@ -156,26 +196,69 @@ AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
     for (std::size_t s = 0; s < acc.by_size_span.size(); ++s)
       for (std::size_t k = 0; k < acc.by_size_span[s].size(); ++k)
         out.count_by_size_span[s][k] += acc.by_size_span[s][k];
-    for (auto& [pattern, entry] : acc.per_pattern) {
-      auto& dst = merged[pattern];
-      dst.count += entry.count;
-      if (dst.node_frequency.empty()) dst.node_frequency.assign(dfg.node_count(), 0);
-      for (std::size_t i = 0; i < entry.node_frequency.size(); ++i)
-        dst.node_frequency[i] += entry.node_frequency[i];
-      for (auto& m : entry.members) dst.members.push_back(std::move(m));
-    }
+    for (auto& [pattern, entry] : acc.per_pattern)
+      accumulate_entry(merged[pattern], entry.count, entry.node_frequency,
+                       std::move(entry.members), dfg.node_count());
+  }
+  out.per_pattern = emit_per_pattern(std::move(merged), options.collect_members);
+  return out;
+}
+
+AntichainAnalysis enumerate_antichain_roots(const Dfg& dfg, const Levels& levels,
+                                            const Reachability& reach,
+                                            const EnumerateOptions& options,
+                                            const std::vector<NodeId>& roots,
+                                            std::atomic<std::uint64_t>* shared_count) {
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
+
+  std::atomic<std::uint64_t> local_count{0};
+  SearchContext ctx{dfg, levels, reach, options, effective_limit,
+                    shared_count != nullptr ? shared_count : &local_count};
+
+  Accumulator acc(options.max_size, static_cast<std::size_t>(levels.asap_max));
+  std::vector<bool> seen(dfg.node_count(), false);
+  for (const NodeId root : roots) {
+    MPSCHED_REQUIRE(root < dfg.node_count(), "shard root out of range");
+    MPSCHED_REQUIRE(!seen[root], "duplicate shard root would double-count");
+    seen[root] = true;
+    enumerate_from_root(ctx, acc, root);
   }
 
-  out.per_pattern.reserve(merged.size());
-  for (auto& [pattern, entry] : merged) {
-    PatternAntichains pa;
-    pa.pattern = pattern;
-    pa.antichain_count = entry.count;
-    pa.node_frequency = std::move(entry.node_frequency);
-    pa.members = std::move(entry.members);
-    if (options.collect_members) std::sort(pa.members.begin(), pa.members.end());
-    out.per_pattern.push_back(std::move(pa));
+  AntichainAnalysis out;
+  out.total = acc.total;
+  out.count_by_size_span = std::move(acc.by_size_span);
+  std::map<Pattern, Accumulator::Entry> ordered;
+  for (auto& [pattern, entry] : acc.per_pattern) ordered[pattern] = std::move(entry);
+  out.per_pattern = emit_per_pattern(std::move(ordered), options.collect_members);
+  return out;
+}
+
+AntichainAnalysis merge_antichain_analyses(std::vector<AntichainAnalysis> parts,
+                                           std::size_t node_count) {
+  AntichainAnalysis out;
+  // Dimensions are uniform across shards of one graph + options; take the
+  // maximum so merging an empty shard list still yields an empty analysis.
+  std::size_t sizes = 0, spans = 0;
+  for (const AntichainAnalysis& part : parts) {
+    sizes = std::max(sizes, part.count_by_size_span.size());
+    for (const auto& row : part.count_by_size_span) spans = std::max(spans, row.size());
   }
+  out.count_by_size_span.assign(sizes, std::vector<std::uint64_t>(spans, 0));
+
+  std::map<Pattern, Accumulator::Entry> merged;
+  bool any_members = false;
+  for (AntichainAnalysis& part : parts) {
+    out.total += part.total;
+    for (std::size_t s = 0; s < part.count_by_size_span.size(); ++s)
+      for (std::size_t k = 0; k < part.count_by_size_span[s].size(); ++k)
+        out.count_by_size_span[s][k] += part.count_by_size_span[s][k];
+    for (PatternAntichains& pa : part.per_pattern) {
+      if (!pa.members.empty()) any_members = true;
+      accumulate_entry(merged[pa.pattern], pa.antichain_count, pa.node_frequency,
+                       std::move(pa.members), node_count);
+    }
+  }
+  out.per_pattern = emit_per_pattern(std::move(merged), any_members);
   return out;
 }
 

@@ -19,6 +19,7 @@
 // output is identical for any thread count.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -88,5 +89,34 @@ AntichainAnalysis enumerate_antichains(const Dfg& dfg, const EnumerateOptions& o
 std::vector<std::vector<std::uint64_t>> count_antichains_by_size_span(
     const Dfg& dfg, const Levels& levels, const Reachability& reach,
     std::size_t max_size, bool parallel = true);
+
+// ---------------------------------------------------------------------------
+// Sharded enumeration — the batch engine's unit of work (src/engine).
+//
+// The search forest is a disjoint union of subtrees keyed by the
+// antichain's minimum node id ("root"). enumerate_antichain_roots() walks
+// only the subtrees of the given roots, sequentially, on the calling
+// thread; merging the partial analyses of any partition of [0, n) with
+// merge_antichain_analyses() reproduces enumerate_antichains() exactly.
+// This lets a scheduler interleave shards of *different* graphs on one
+// thread pool instead of being stuck with the per-graph fan-out above.
+// ---------------------------------------------------------------------------
+
+/// Enumerates the subtrees rooted at each id in `roots` (all < node_count,
+/// duplicates forbidden). Ignores `options.parallel`. The max_antichains
+/// safety valve counts through `shared_count` when given, so a scheduler
+/// running many shards of one analysis keeps the limit global instead of
+/// per-shard; with nullptr the limit applies to this call alone.
+AntichainAnalysis enumerate_antichain_roots(const Dfg& dfg, const Levels& levels,
+                                            const Reachability& reach,
+                                            const EnumerateOptions& options,
+                                            const std::vector<NodeId>& roots,
+                                            std::atomic<std::uint64_t>* shared_count = nullptr);
+
+/// Merges root-disjoint partial analyses of the same graph + options.
+/// Associative and order-insensitive: any grouping of the same shard set
+/// yields a bit-identical result.
+AntichainAnalysis merge_antichain_analyses(std::vector<AntichainAnalysis> parts,
+                                           std::size_t node_count);
 
 }  // namespace mpsched

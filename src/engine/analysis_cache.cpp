@@ -1,0 +1,165 @@
+#include "engine/analysis_cache.hpp"
+
+#include <cstdio>
+
+
+namespace mpsched::engine {
+
+namespace {
+
+// Two independent FNV-1a streams over the same bytes: the classic 64-bit
+// offset/prime pair plus a second stream with a different seed, giving a
+// 128-bit content address.
+struct Fnv2 {
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  std::uint64_t hi = 0x6c62272e07bb0142ULL;
+
+  void feed(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = (lo ^ bytes[i]) * 0x00000100000001b3ULL;
+      hi = (hi ^ bytes[i]) * 0x000001000000018dULL;
+    }
+  }
+
+  void feed(std::string_view s) { feed(s.data(), s.size()); }
+
+  void feed_u64(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    feed(bytes, sizeof bytes);
+  }
+
+  CacheKey key() const { return CacheKey{lo, hi}; }
+};
+
+/// Canonical structural bytes: per-node color names (length-prefixed, in
+/// node-id order) and the edge list (in succ insertion order — it is
+/// semantics-bearing for tie-breaking). Graph and node *names* are display
+/// metadata the analyses never consume, so they stay out of the key: two
+/// structurally identical graphs share cache lines no matter what they or
+/// their nodes are called, and no string content can masquerade as
+/// structure (everything is length-delimited, not line-delimited).
+/// Identical per-node color-name sequences force identical color
+/// interning, so ColorId-typed cached analyses transfer soundly.
+void feed_graph(Fnv2& h, const Dfg& dfg) {
+  h.feed_u64(dfg.node_count());
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    const std::string& color = dfg.color_name(dfg.color(n));
+    h.feed_u64(color.size());
+    h.feed(color);
+  }
+  h.feed_u64(dfg.edge_count());
+  for (NodeId n = 0; n < dfg.node_count(); ++n)
+    for (const NodeId s : dfg.succs(n)) {
+      h.feed_u64(n);
+      h.feed_u64(s);
+    }
+}
+
+}  // namespace
+
+std::string CacheKey::to_string() const {
+  char buf[36];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx", static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+namespace {
+
+void feed_options(Fnv2& h, PatternGeneration generation, std::size_t max_size,
+                  std::optional<int> span_limit) {
+  h.feed_u64(generation == PatternGeneration::LevelAnalytic ? 2 : 1);
+  h.feed_u64(static_cast<std::uint64_t>(max_size));
+  // The analytic generator has no span-limit notion; keep its key stable
+  // across span settings so sweeps share one entry.
+  if (generation == PatternGeneration::SpanLimitedEnumeration)
+    h.feed_u64(span_limit ? static_cast<std::uint64_t>(*span_limit) + 1 : 0);
+}
+
+}  // namespace
+
+CacheKey AnalysisCache::graph_key(const Dfg& dfg) {
+  Fnv2 h;
+  feed_graph(h, dfg);
+  return h.key();
+}
+
+CacheKey AnalysisCache::analysis_key(const Dfg& dfg, PatternGeneration generation,
+                                     std::size_t max_size, std::optional<int> span_limit) {
+  Fnv2 h;
+  feed_graph(h, dfg);
+  feed_options(h, generation, max_size, span_limit);
+  return h.key();
+}
+
+std::pair<CacheKey, CacheKey> AnalysisCache::content_keys(const Dfg& dfg,
+                                                          PatternGeneration generation,
+                                                          std::size_t max_size,
+                                                          std::optional<int> span_limit) {
+  Fnv2 h;
+  feed_graph(h, dfg);
+  const CacheKey graph = h.key();
+  feed_options(h, generation, max_size, span_limit);  // extends the same stream
+  return {graph, h.key()};
+}
+
+std::shared_ptr<const PreparedGraph> AnalysisCache::prepare_graph(const Dfg& dfg) {
+  return prepare_graph(dfg, graph_key(dfg));
+}
+
+std::shared_ptr<const PreparedGraph> AnalysisCache::prepare_graph(const Dfg& dfg,
+                                                                  const CacheKey& key) {
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = graphs_.find(key);
+    if (it != graphs_.end()) {
+      ++stats_.graph_hits;
+      return it->second;
+    }
+  }
+  // Compute outside the lock; a racing duplicate is harmless (identical
+  // content, last writer wins).
+  auto prepared = std::make_shared<PreparedGraph>(
+      PreparedGraph{compute_levels(dfg), Reachability(dfg)});
+  std::lock_guard lock(mutex_);
+  ++stats_.graph_misses;
+  graphs_[key] = prepared;
+  return prepared;
+}
+
+std::shared_ptr<const AntichainAnalysis> AnalysisCache::find_analysis(const CacheKey& key) {
+  std::lock_guard lock(mutex_);
+  const auto it = analyses_.find(key);
+  if (it == analyses_.end()) {
+    ++stats_.analysis_misses;
+    return nullptr;
+  }
+  ++stats_.analysis_hits;
+  return it->second;
+}
+
+void AnalysisCache::store_analysis(const CacheKey& key,
+                                   std::shared_ptr<const AntichainAnalysis> value) {
+  std::lock_guard lock(mutex_);
+  analyses_[key] = std::move(value);
+}
+
+CacheStats AnalysisCache::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::size_t AnalysisCache::analysis_count() const {
+  std::lock_guard lock(mutex_);
+  return analyses_.size();
+}
+
+void AnalysisCache::clear() {
+  std::lock_guard lock(mutex_);
+  graphs_.clear();
+  analyses_.clear();
+}
+
+}  // namespace mpsched::engine

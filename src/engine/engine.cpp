@@ -1,0 +1,325 @@
+#include "engine/engine.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "antichain/analytic.hpp"
+#include "antichain/enumerate.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace mpsched::engine {
+
+namespace {
+
+/// One analysis to compute this batch: a unique (graph, options) content
+/// key, the jobs consuming it, and its root shards.
+struct AnalysisUnit {
+  CacheKey key;
+  std::size_t exemplar_job = 0;  ///< index whose dfg/options define the unit
+  std::vector<std::size_t> consumers;
+  std::vector<std::vector<NodeId>> shard_roots;  ///< empty for LevelAnalytic
+  std::vector<AntichainAnalysis> shard_results;
+  std::vector<std::string> shard_errors;
+  std::vector<double> shard_ms;
+  /// One counter across all shards of this unit, so the max_antichains
+  /// safety valve bounds the whole analysis, not each shard separately.
+  /// (unique_ptr keeps the unit movable.)
+  std::unique_ptr<std::atomic<std::uint64_t>> enumerated;
+  std::shared_ptr<const AntichainAnalysis> result;
+  std::string error;
+  double total_ms = 0.0;
+};
+
+EnumerateOptions enumerate_options_for(const SelectOptions& select) {
+  EnumerateOptions eo;
+  eo.max_size = select.capacity;
+  eo.span_limit = select.span_limit;
+  eo.collect_members = false;  // cached analyses never carry member lists
+  eo.parallel = false;         // the engine shards; no nested fan-out
+  return eo;
+}
+
+/// Cyclic root partition: shard s takes roots s, s+S, s+2S, … so the
+/// expensive low-id roots (largest search subtrees) spread across shards.
+std::vector<std::vector<NodeId>> partition_roots(std::size_t node_count,
+                                                 std::size_t target_shards) {
+  const std::size_t shards = std::clamp<std::size_t>(target_shards, 1, std::max<std::size_t>(node_count, 1));
+  std::vector<std::vector<NodeId>> roots(shards);
+  for (std::size_t r = 0; r < node_count; ++r)
+    roots[r % shards].push_back(static_cast<NodeId>(r));
+  return roots;
+}
+
+}  // namespace
+
+std::size_t BatchResult::succeeded() const {
+  std::size_t n = 0;
+  for (const JobResult& r : jobs)
+    if (r.success) ++n;
+  return n;
+}
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  if (options_.threads > 0) owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+  if (options_.cache == nullptr) owned_cache_ = std::make_unique<AnalysisCache>();
+}
+
+Engine::~Engine() = default;
+
+ThreadPool& Engine::pool() {
+  return owned_pool_ ? *owned_pool_ : ThreadPool::shared();
+}
+
+AnalysisCache& Engine::cache() {
+  return options_.cache != nullptr ? *options_.cache : *owned_cache_;
+}
+
+JobResult Engine::run(const Job& job) {
+  return run_batch({job}).jobs.front();
+}
+
+BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
+  Timer wall;
+  BatchResult batch;
+  batch.jobs.resize(jobs.size());
+
+  const std::size_t n_jobs = jobs.size();
+  ThreadPool& workers = pool();
+  AnalysisCache& store = cache();
+  const std::size_t worker_count = workers.thread_count() + 1;  // pool + caller
+
+  // ---- Phase 0: identify, prepare, deduplicate --------------------------
+  std::vector<std::shared_ptr<const PreparedGraph>> prepared(n_jobs);
+  std::vector<std::shared_ptr<const AntichainAnalysis>> analysis(n_jobs);
+  std::vector<CacheKey> keys(n_jobs);
+
+  for (std::size_t i = 0; i < n_jobs; ++i) {
+    JobResult& r = batch.jobs[i];
+    r.job = jobs[i].resolved_name();
+    r.workload = jobs[i].workload;
+    r.nodes = jobs[i].dfg.node_count();
+    r.edges = jobs[i].dfg.edge_count();
+  }
+
+  // Levels + closure per job. With the cache on, jobs are grouped by graph
+  // content key first so duplicate graphs compute their (expensive,
+  // O(V·E/64)) transitive closure exactly once even on a cold cache —
+  // concurrent misses on the same key would otherwise all recompute.
+  // Content hashing rides in its own fan-out: one canonical serialization
+  // per job yields both the graph and the analysis key; with the cache off
+  // none of it runs.
+  if (options_.use_cache) {
+    std::vector<CacheKey> graph_keys(n_jobs);
+    workers.parallel_for(n_jobs, [&](std::size_t i) {
+      Timer t;
+      try {
+        const auto [graph_key, job_key] = AnalysisCache::content_keys(
+            jobs[i].dfg, jobs[i].select.generation, jobs[i].select.capacity,
+            jobs[i].select.span_limit);
+        graph_keys[i] = graph_key;
+        keys[i] = job_key;
+      } catch (const std::exception& e) {
+        batch.jobs[i].error = std::string("prepare: ") + e.what();
+      }
+      batch.jobs[i].timings.prepare_ms = t.millis();
+    });
+
+    std::unordered_map<CacheKey, std::vector<std::size_t>, CacheKeyHash> by_graph;
+    for (std::size_t i = 0; i < n_jobs; ++i)
+      if (batch.jobs[i].error.empty()) by_graph[graph_keys[i]].push_back(i);
+    std::vector<std::vector<std::size_t>> graph_groups;
+    graph_groups.reserve(by_graph.size());
+    for (auto& [key, group] : by_graph) graph_groups.push_back(std::move(group));
+
+    workers.parallel_for(graph_groups.size(), [&](std::size_t g) {
+      const std::vector<std::size_t>& group = graph_groups[g];
+      const std::size_t exemplar = group.front();
+      Timer t;
+      std::shared_ptr<const PreparedGraph> graph;
+      std::string error;
+      try {
+        graph = store.prepare_graph(jobs[exemplar].dfg, graph_keys[exemplar]);
+      } catch (const std::exception& e) {
+        error = std::string("prepare: ") + e.what();
+      }
+      const double ms = t.millis();
+      for (const std::size_t i : group) {
+        prepared[i] = graph;
+        if (!error.empty()) batch.jobs[i].error = error;
+      }
+      // Charge the shared computation to the exemplar only, so summing
+      // prepare_ms across a results file reflects work actually done.
+      batch.jobs[exemplar].timings.prepare_ms += ms;
+    });
+  } else {
+    workers.parallel_for(n_jobs, [&](std::size_t i) {
+      Timer t;
+      try {
+        prepared[i] = std::make_shared<PreparedGraph>(
+            PreparedGraph{compute_levels(jobs[i].dfg), Reachability(jobs[i].dfg)});
+      } catch (const std::exception& e) {
+        batch.jobs[i].error = std::string("prepare: ") + e.what();
+      }
+      batch.jobs[i].timings.prepare_ms = t.millis();
+    });
+  }
+
+  // Group jobs into analysis units. With the cache off, every job is its
+  // own unit — no memoization, no intra-batch sharing.
+  std::vector<AnalysisUnit> units;
+  if (options_.use_cache) {
+    std::unordered_map<CacheKey, std::size_t, CacheKeyHash> unit_of;
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      if (!batch.jobs[i].error.empty()) continue;
+      if (auto hit = store.find_analysis(keys[i])) {
+        analysis[i] = std::move(hit);
+        batch.jobs[i].analysis_cache_hit = true;
+        ++batch.analyses_reused;
+        continue;
+      }
+      const auto [it, inserted] = unit_of.try_emplace(keys[i], units.size());
+      if (inserted) {
+        units.push_back(AnalysisUnit{});
+        units.back().key = keys[i];
+        units.back().exemplar_job = i;
+      } else {
+        ++batch.analyses_reused;
+      }
+      units[it->second].consumers.push_back(i);
+    }
+  } else {
+    for (std::size_t i = 0; i < n_jobs; ++i) {
+      if (!batch.jobs[i].error.empty()) continue;
+      AnalysisUnit unit;
+      unit.key = keys[i];
+      unit.exemplar_job = i;
+      unit.consumers.push_back(i);
+      units.push_back(std::move(unit));
+    }
+  }
+  batch.analyses_computed = units.size();
+
+  // ---- Phase 1: sharded analysis over one flat task list ----------------
+  struct Task {
+    std::size_t unit;
+    std::size_t shard;
+  };
+  std::vector<Task> tasks;
+  for (std::size_t u = 0; u < units.size(); ++u) {
+    AnalysisUnit& unit = units[u];
+    const Job& job = jobs[unit.exemplar_job];
+    if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
+      unit.shard_roots = partition_roots(job.dfg.node_count(),
+                                         worker_count * options_.shards_per_thread);
+    } else {
+      unit.shard_roots.resize(1);  // closed-form counting: one cheap task
+    }
+    unit.shard_results.resize(unit.shard_roots.size());
+    unit.shard_errors.resize(unit.shard_roots.size());
+    unit.shard_ms.resize(unit.shard_roots.size());
+    unit.enumerated = std::make_unique<std::atomic<std::uint64_t>>(0);
+    for (std::size_t s = 0; s < unit.shard_roots.size(); ++s) tasks.push_back({u, s});
+  }
+
+  workers.parallel_for(tasks.size(), [&](std::size_t t) {
+    AnalysisUnit& unit = units[tasks[t].unit];
+    const std::size_t s = tasks[t].shard;
+    const Job& job = jobs[unit.exemplar_job];
+    const PreparedGraph& graph = *prepared[unit.exemplar_job];
+    Timer timer;
+    try {
+      if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
+        unit.shard_results[s] =
+            enumerate_antichain_roots(job.dfg, graph.levels, graph.reach,
+                                      enumerate_options_for(job.select),
+                                      unit.shard_roots[s], unit.enumerated.get());
+      } else {
+        unit.shard_results[s] =
+            analytic_level_analysis(job.dfg, graph.levels, job.select.capacity);
+      }
+    } catch (const std::exception& e) {
+      unit.shard_errors[s] = e.what();
+    }
+    unit.shard_ms[s] = timer.millis();
+  });
+
+  for (AnalysisUnit& unit : units) {
+    for (std::size_t s = 0; s < unit.shard_errors.size(); ++s)
+      if (unit.error.empty() && !unit.shard_errors[s].empty())
+        unit.error = "analysis: " + unit.shard_errors[s];
+    for (const double ms : unit.shard_ms) unit.total_ms += ms;
+    if (!unit.error.empty()) continue;
+    const Job& job = jobs[unit.exemplar_job];
+    unit.result = std::make_shared<AntichainAnalysis>(
+        unit.shard_results.size() == 1
+            ? std::move(unit.shard_results.front())
+            : merge_antichain_analyses(std::move(unit.shard_results),
+                                       job.dfg.node_count()));
+    if (options_.use_cache) store.store_analysis(unit.key, unit.result);
+  }
+
+  for (const AnalysisUnit& unit : units) {
+    for (const std::size_t i : unit.consumers) {
+      analysis[i] = unit.result;
+      // Same convention as prepare_ms: shared work is charged to the
+      // exemplar only, so summing timings over a results file reflects
+      // work actually done.
+      batch.jobs[i].timings.analysis_ms = i == unit.exemplar_job ? unit.total_ms : 0.0;
+      if (!unit.error.empty()) batch.jobs[i].error = unit.error;
+    }
+  }
+
+  // ---- Phase 2: select + schedule + refine, one task per job ------------
+  workers.parallel_for(n_jobs, [&](std::size_t i) {
+    JobResult& r = batch.jobs[i];
+    if (!r.error.empty()) return;  // earlier phase already failed this job
+    const Job& job = jobs[i];
+    try {
+      r.critical_path = prepared[i]->levels.critical_path_length();
+
+      Timer t;
+      const SelectionResult selection = select_patterns(job.dfg, *analysis[i], job.select);
+      r.timings.select_ms = t.millis();
+      r.antichains = selection.antichains_enumerated;
+      r.candidate_patterns = selection.candidate_patterns;
+
+      PatternSet patterns = selection.patterns;
+      if (job.refine) {
+        t.reset();
+        RefineOptions refinement = job.refinement;
+        refinement.schedule = job.schedule;
+        const RefineResult refined =
+            refine_pattern_set(job.dfg, *analysis[i], patterns, refinement);
+        r.timings.refine_ms = t.millis();
+        r.refine_swaps = refined.swaps_accepted;
+        patterns = refined.patterns;
+      }
+
+      t.reset();
+      const MpScheduleResult scheduled =
+          multi_pattern_schedule(job.dfg, patterns, job.schedule);
+      r.timings.schedule_ms = t.millis();
+      if (!scheduled.success) {
+        r.error = "schedule: " + scheduled.error;
+        return;
+      }
+
+      r.success = true;
+      r.cycles = scheduled.cycles;
+      for (const Pattern& p : patterns) r.patterns.push_back(p.to_string(job.dfg));
+      r.node_cycles.resize(job.dfg.node_count());
+      for (NodeId n = 0; n < job.dfg.node_count(); ++n)
+        r.node_cycles[n] = scheduled.schedule.cycle_of(n);
+    } catch (const std::exception& e) {
+      r.success = false;
+      r.error = e.what();
+    }
+  });
+
+  batch.wall_ms = wall.millis();
+  batch.cache_stats = store.stats();
+  return batch;
+}
+
+}  // namespace mpsched::engine

@@ -1,0 +1,92 @@
+// The batch scheduling engine — "submit jobs, get results" (ROADMAP's
+// service-layer substrate).
+//
+// Every caller used to hand-wire enumerate_antichains → select_patterns →
+// multi_pattern_schedule per graph. The engine runs a whole corpus instead:
+//
+//   1. Deduplicate. Jobs are grouped by content-addressed analysis key
+//      (engine/analysis_cache.hpp); a batch with the same graph under the
+//      same generation options computes its antichain analysis once, and a
+//      warm cache skips the computation entirely.
+//   2. Shard. Each analysis to compute is split by enumeration root into
+//      ~shards_per_thread × workers chunks, and ALL chunks of ALL jobs go
+//      into one dynamically-balanced parallel_for — work steals across
+//      jobs *and* within a job, so one huge DFG no longer serializes the
+//      tail of the batch the way per-graph fan-out does.
+//   3. Solve. Selection, scheduling and optional refinement run per job in
+//      a second parallel_for (they are orders of magnitude cheaper than
+//      enumeration and strictly sequential per job).
+//
+// Determinism: shard merging is grouping-insensitive and every phase
+// writes to per-index slots, so results — down to the serialized JSON —
+// are bit-identical for any thread count and any cache state.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "engine/analysis_cache.hpp"
+#include "engine/job.hpp"
+
+namespace mpsched {
+class ThreadPool;
+}
+
+namespace mpsched::engine {
+
+struct EngineOptions {
+  /// Worker threads for the engine's own pool; 0 = use ThreadPool::shared().
+  std::size_t threads = 0;
+  /// Memoize analyses (across run_batch calls) and deduplicate identical
+  /// analyses within a batch. Off → every job computes its own analysis,
+  /// the honest baseline for measuring what the cache buys.
+  bool use_cache = true;
+  /// Shared external cache; nullptr → the engine owns a private one.
+  AnalysisCache* cache = nullptr;
+  /// Sharding granularity: target shards ≈ shards_per_thread × workers,
+  /// clamped to the node count. Higher = better balance, more merge work.
+  std::size_t shards_per_thread = 4;
+};
+
+struct BatchResult {
+  std::vector<JobResult> jobs;
+
+  // -- diagnostics (excluded from deterministic serialization) -----------
+  double wall_ms = 0.0;
+  /// Jobs whose analysis was computed fresh this batch.
+  std::size_t analyses_computed = 0;
+  /// Jobs served by the cache or by intra-batch deduplication.
+  std::size_t analyses_reused = 0;
+  /// Cache counter snapshot after the batch (cumulative for shared caches).
+  CacheStats cache_stats{};
+
+  std::size_t succeeded() const;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes one job (a batch of one).
+  JobResult run(const Job& job);
+
+  /// Executes a batch; results are index-aligned with `jobs`.
+  BatchResult run_batch(const std::vector<Job>& jobs);
+
+  const EngineOptions& options() const noexcept { return options_; }
+  /// The cache in use (owned or external).
+  AnalysisCache& cache();
+
+ private:
+  ThreadPool& pool();
+
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  std::unique_ptr<AnalysisCache> owned_cache_;
+};
+
+}  // namespace mpsched::engine

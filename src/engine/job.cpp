@@ -1,0 +1,21 @@
+#include "engine/job.hpp"
+
+#include "workloads/corpus.hpp"
+
+namespace mpsched::engine {
+
+std::string Job::resolved_name() const {
+  if (!name.empty()) return name;
+  if (!workload.empty()) return workload;
+  return dfg.name();
+}
+
+Job Job::from_workload(const std::string& spec) {
+  Job job;
+  job.name = spec;
+  job.workload = spec;
+  job.dfg = workloads::make_workload(spec);
+  return job;
+}
+
+}  // namespace mpsched::engine

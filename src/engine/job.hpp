@@ -1,0 +1,88 @@
+// Job / JobResult — the unit of work of the batch engine (src/engine).
+//
+// A Job bundles everything the nine-module pipeline needs for one graph:
+// the DFG itself, how to generate candidate patterns (SelectOptions folds
+// in the EnumerateOptions knobs: capacity, span limit, generation
+// strategy), how to schedule, and whether to run the refinement loop.
+// A JobResult captures the full outcome — selected patterns, schedule
+// length, the per-node cycle assignment, antichain totals — plus
+// diagnostics (per-phase timings, cache hit) that are *not* part of the
+// deterministic result surface (io/result_io excludes them by default).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/mp_schedule.hpp"
+#include "core/refine.hpp"
+#include "core/select.hpp"
+#include "graph/dfg.hpp"
+
+namespace mpsched::engine {
+
+struct Job {
+  /// Display name; resolved_name() back-fills when empty.
+  std::string name;
+  /// Workload spec (workloads/corpus.hpp) this graph came from; empty for
+  /// graphs supplied directly. Carried through to results and corpus files.
+  std::string workload;
+  Dfg dfg;
+  SelectOptions select{};
+  MpScheduleOptions schedule{};
+  bool refine = false;
+  RefineOptions refinement{};
+
+  /// `name`, else the workload spec, else the graph's own name. The engine
+  /// and the corpus writer both use this, so a job is called the same
+  /// thing in results whether it ran from memory or through a corpus file.
+  std::string resolved_name() const;
+
+  /// Builds a job from a workload spec (name defaults to the spec).
+  static Job from_workload(const std::string& spec);
+};
+
+/// Wall-clock milliseconds per pipeline phase. `analysis_ms` is summed
+/// over the job's enumeration shards, so it reads as CPU-ms when the job
+/// was sharded across workers; 0.0 when the analysis came from the cache.
+/// Work shared by duplicate jobs in one batch (prepare and analysis alike)
+/// is charged to the group's first job only, so summing a phase across a
+/// results file reflects work actually done.
+struct PhaseTimings {
+  double prepare_ms = 0.0;   ///< levels + transitive closure + hashing
+  double analysis_ms = 0.0;  ///< antichain enumeration / analytic counting
+  double select_ms = 0.0;
+  double schedule_ms = 0.0;
+  double refine_ms = 0.0;
+
+  double total_ms() const {
+    return prepare_ms + analysis_ms + select_ms + schedule_ms + refine_ms;
+  }
+};
+
+struct JobResult {
+  std::string job;       ///< Job::resolved_name()
+  std::string workload;  ///< Job::workload (may be empty)
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+
+  bool success = false;
+  std::string error;  ///< set when !success
+
+  /// Selected patterns in pick order, text form ("aabcc").
+  std::vector<std::string> patterns;
+  std::size_t cycles = 0;       ///< multi-pattern schedule length
+  int critical_path = 0;        ///< cycle-count lower bound
+  /// The schedule itself: cycle_of[node id]; empty on failure.
+  std::vector<int> node_cycles;
+
+  std::uint64_t antichains = 0;         ///< total enumerated (or counted)
+  std::size_t candidate_patterns = 0;   ///< distinct patterns found
+  std::size_t refine_swaps = 0;         ///< 0 unless Job::refine
+
+  // -- diagnostics (excluded from deterministic serialization) -----------
+  bool analysis_cache_hit = false;
+  PhaseTimings timings{};
+};
+
+}  // namespace mpsched::engine

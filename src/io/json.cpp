@@ -1,0 +1,489 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace mpsched {
+
+Json::Json(std::uint64_t u) {
+  if (u > static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()))
+    value_ = static_cast<double>(u);
+  else
+    value_ = static_cast<std::int64_t>(u);
+}
+
+namespace {
+
+[[noreturn]] void type_error(const char* wanted) {
+  throw std::runtime_error(std::string("json: value is not ") + wanted);
+}
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (!is_bool()) type_error("a bool");
+  return std::get<bool>(value_);
+}
+
+std::int64_t Json::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(value_);
+  if (is_double()) {
+    const double d = std::get<double>(value_);
+    // Exact-integer doubles only, and only within int64 range (both bounds
+    // are exactly representable: -2^63 and 2^63).
+    if (std::nearbyint(d) == d &&
+        d >= static_cast<double>(std::numeric_limits<std::int64_t>::min()) &&
+        d < -static_cast<double>(std::numeric_limits<std::int64_t>::min()))
+      return static_cast<std::int64_t>(d);
+  }
+  type_error("an integer");
+}
+
+double Json::as_double() const {
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(value_));
+  if (!is_double()) type_error("a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  if (!is_string()) type_error("a string");
+  return std::get<std::string>(value_);
+}
+
+const Json::Array& Json::as_array() const {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+Json::Array& Json::as_array() {
+  if (!is_array()) type_error("an array");
+  return std::get<Array>(value_);
+}
+
+const Json::Object& Json::as_object() const {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+Json::Object& Json::as_object() {
+  if (!is_object()) type_error("an object");
+  return std::get<Object>(value_);
+}
+
+const Json* Json::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : std::get<Object>(value_))
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(std::string_view key) const {
+  const Json* found = find(key);
+  if (found == nullptr)
+    throw std::runtime_error("json: missing required key '" + std::string(key) + "'");
+  return *found;
+}
+
+void Json::set(std::string_view key, Json value) {
+  Object& obj = as_object();
+  for (auto& [k, v] : obj)
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  obj.emplace_back(std::string(key), std::move(value));
+}
+
+void Json::push_back(Json value) { as_array().push_back(std::move(value)); }
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dump_string(const std::string& s, std::string& out) {
+  out += '"';
+  for (const char ch : s) {
+    const auto c = static_cast<unsigned char>(ch);
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += ch;  // UTF-8 bytes pass through untouched
+        }
+    }
+  }
+  out += '"';
+}
+
+void dump_value(const Json& v, int indent, int depth, std::string& out) {
+  const auto newline_pad = [&](int d) {
+    if (indent < 0) return;
+    out += '\n';
+    out.append(static_cast<std::size_t>(indent) * static_cast<std::size_t>(d), ' ');
+  };
+
+  if (v.is_null()) {
+    out += "null";
+  } else if (v.is_bool()) {
+    out += v.as_bool() ? "true" : "false";
+  } else if (v.is_int()) {
+    out += std::to_string(v.as_int());
+  } else if (v.is_double()) {
+    const double d = v.as_double();
+    if (!std::isfinite(d))
+      throw std::runtime_error("json: cannot serialize a non-finite number");
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    out += buf;
+    // Keep the double-ness visible so the value round-trips as a double.
+    if (out.find_first_of(".eE", out.size() - std::strlen(buf)) == std::string::npos)
+      out += ".0";
+  } else if (v.is_string()) {
+    dump_string(v.as_string(), out);
+  } else if (v.is_array()) {
+    const Json::Array& arr = v.as_array();
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i > 0) out += ',';
+      newline_pad(depth + 1);
+      dump_value(arr[i], indent, depth + 1, out);
+    }
+    newline_pad(depth);
+    out += ']';
+  } else {
+    const Json::Object& obj = v.as_object();
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    for (std::size_t i = 0; i < obj.size(); ++i) {
+      if (i > 0) out += ",";
+      newline_pad(depth + 1);
+      dump_string(obj[i].first, out);
+      out += indent < 0 ? ":" : ": ";
+      dump_value(obj[i].second, indent, depth + 1, out);
+    }
+    newline_pad(depth);
+    out += '}';
+  }
+}
+
+}  // namespace
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_value(*this, indent, 0, out);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (recursive descent)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after the document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i)
+      if (text_[i] == '\n') ++line;
+    throw std::invalid_argument("json parse error at line " + std::to_string(line) + ": " +
+                                msg);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) != lit) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  Json parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Json(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Json(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  /// Containers recurse; bound the depth so hostile input gets a parse
+  /// error instead of a stack overflow.
+  static constexpr int kMaxDepth = 256;
+
+  struct DepthGuard {
+    Parser& parser;
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (++parser.depth_ > kMaxDepth) parser.fail("nesting deeper than 256 levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+  };
+
+  Json parse_object() {
+    const DepthGuard guard(*this);
+    expect('{');
+    Json obj = Json::object();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      if (peek() != '"') fail("expected a string key");
+      std::string key = parse_string();
+      if (obj.find(key) != nullptr) fail("duplicate key '" + key + "'");
+      expect(':');
+      obj.as_object().emplace_back(std::move(key), parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+  }
+
+  Json parse_array() {
+    const DepthGuard guard(*this);
+    expect('[');
+    Json arr = Json::array();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.as_array().push_back(parse_value());
+      const char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+  }
+
+  unsigned parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else fail("invalid hex digit in \\u escape");
+    }
+    return code;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) fail("raw control character in string");
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          unsigned code = parse_hex4();
+          if (code >= 0xDC00 && code <= 0xDFFF) fail("lone low surrogate in \\u escape");
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow; combine
+            // into one supplementary-plane code point (valid UTF-8 out —
+            // raw CESU-8 surrogate bytes would be rejected by jq & co).
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' || text_[pos_ + 1] != 'u')
+              fail("high surrogate not followed by \\u low surrogate");
+            pos_ += 2;
+            const unsigned low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF)
+              fail("high surrogate not followed by a low surrogate");
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          }
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else if (code < 0x10000) {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xF0 | (code >> 18));
+            out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape sequence");
+      }
+    }
+  }
+
+  /// True iff `s` matches the RFC 8259 number grammar:
+  ///   -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?
+  /// (rejects leading '+', leading zeros, bare '.5' / '1.').
+  static bool is_standard_number(std::string_view s, bool& integral) {
+    std::size_t i = 0;
+    integral = true;
+    const auto digits = [&]() {
+      const std::size_t before = i;
+      while (i < s.size() && s[i] >= '0' && s[i] <= '9') ++i;
+      return i > before;
+    };
+    if (i < s.size() && s[i] == '-') ++i;
+    if (i >= s.size()) return false;
+    if (s[i] == '0') {
+      ++i;
+    } else if (s[i] >= '1' && s[i] <= '9') {
+      digits();
+    } else {
+      return false;
+    }
+    if (i < s.size() && s[i] == '.') {
+      integral = false;
+      ++i;
+      if (!digits()) return false;
+    }
+    if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+      integral = false;
+      ++i;
+      if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+      if (!digits()) return false;
+    }
+    return i == s.size();
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    // Gather the maximal plausible token, then validate it as a whole so
+    // typos like 1.2.3, 01 or +5 are rejected instead of silently
+    // truncated or misread.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' || c == '+' ||
+          c == '-')
+        ++pos_;
+      else
+        break;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    bool integral = true;
+    if (!is_standard_number(token, integral)) fail("invalid number '" + token + "'");
+    try {
+      if (integral) return Json(static_cast<std::int64_t>(std::stoll(token)));
+      return Json(std::stod(token));
+    } catch (const std::out_of_range&) {
+      // Positive integers in (int64 max, uint64 max] — e.g. uint64 RNG
+      // seeds written literally — are stored bit-cast as negative int64,
+      // matching how uint64 consumers read integers back.
+      if (integral && token[0] != '-') {
+        try {
+          return Json(static_cast<std::int64_t>(std::stoull(token)));
+        } catch (const std::exception&) {
+          // falls through to the uniform error below
+        }
+      }
+      fail("number '" + token + "' is out of range");
+    } catch (const std::exception&) {
+      fail("invalid number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
+
+void save_json(const Json& doc, const std::string& path, int indent) {
+  std::ofstream out(path);
+  if (!out.good()) throw std::runtime_error("cannot open '" + path + "' for writing");
+  out << doc.dump(indent) << '\n';
+  if (!out.good()) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+Json load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) throw std::runtime_error("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return Json::parse(buffer.str());
+}
+
+}  // namespace mpsched

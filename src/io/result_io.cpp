@@ -1,0 +1,288 @@
+#include "io/result_io.hpp"
+
+#include <stdexcept>
+
+#include "io/dfg_io.hpp"
+#include "workloads/corpus.hpp"
+
+namespace mpsched {
+
+namespace {
+
+using engine::BatchResult;
+using engine::Job;
+using engine::JobResult;
+
+// -- enum <-> string ------------------------------------------------------
+
+const char* to_text(SizeBonus b) {
+  switch (b) {
+    case SizeBonus::Quadratic: return "quadratic";
+    case SizeBonus::Linear: return "linear";
+    case SizeBonus::None: return "none";
+  }
+  return "quadratic";
+}
+
+SizeBonus size_bonus_from(const std::string& s) {
+  if (s == "quadratic") return SizeBonus::Quadratic;
+  if (s == "linear") return SizeBonus::Linear;
+  if (s == "none") return SizeBonus::None;
+  throw std::invalid_argument("unknown size_bonus '" + s + "'");
+}
+
+const char* to_text(PatternGeneration g) {
+  return g == PatternGeneration::LevelAnalytic ? "analytic" : "enumeration";
+}
+
+PatternGeneration generation_from(const std::string& s) {
+  if (s == "enumeration") return PatternGeneration::SpanLimitedEnumeration;
+  if (s == "analytic") return PatternGeneration::LevelAnalytic;
+  throw std::invalid_argument("unknown generation '" + s + "'");
+}
+
+const char* to_text(PatternRule r) {
+  return r == PatternRule::F1CoverCount ? "F1" : "F2";
+}
+
+PatternRule rule_from(const std::string& s) {
+  if (s == "F1") return PatternRule::F1CoverCount;
+  if (s == "F2") return PatternRule::F2PrioritySum;
+  throw std::invalid_argument("unknown rule '" + s + "'");
+}
+
+const char* to_text(TieBreak t) {
+  switch (t) {
+    case TieBreak::Stable: return "stable";
+    case TieBreak::NodeIdAsc: return "node_id_asc";
+    case TieBreak::NodeIdDesc: return "node_id_desc";
+    case TieBreak::Random: return "random";
+  }
+  return "stable";
+}
+
+TieBreak tie_break_from(const std::string& s) {
+  if (s == "stable") return TieBreak::Stable;
+  if (s == "node_id_asc") return TieBreak::NodeIdAsc;
+  if (s == "node_id_desc") return TieBreak::NodeIdDesc;
+  if (s == "random") return TieBreak::Random;
+  throw std::invalid_argument("unknown tie_break '" + s + "'");
+}
+
+// -- writers --------------------------------------------------------------
+
+Json select_to_json(const SelectOptions& o) {
+  Json j = Json::object();
+  j.set("pattern_count", o.pattern_count);
+  j.set("capacity", o.capacity);
+  j.set("epsilon", o.epsilon);
+  j.set("alpha", o.alpha);
+  j.set("size_bonus", to_text(o.size_bonus));
+  j.set("span_limit", o.span_limit ? Json(std::int64_t{*o.span_limit}) : Json(nullptr));
+  j.set("generation", to_text(o.generation));
+  return j;
+}
+
+Json schedule_to_json(const MpScheduleOptions& o) {
+  Json j = Json::object();
+  j.set("rule", to_text(o.rule));
+  j.set("tie_break", to_text(o.tie_break));
+  // Bit-cast through int64 (appears negative above 2^63-1) so every
+  // uint64 seed survives the round-trip; Json(uint64_t) would demote
+  // out-of-int64-range values to a lossy double.
+  j.set("seed", static_cast<std::int64_t>(o.seed));
+  j.set("random_pattern_ties", o.random_pattern_ties);
+  return j;
+}
+
+Json job_to_json(const Job& job) {
+  Json j = Json::object();
+  // Normalize empty names at write time (same back-fill the reader and the
+  // engine apply), so save → load → save is a byte-exact fixpoint.
+  j.set("name", job.resolved_name());
+  if (!job.workload.empty())
+    j.set("workload", job.workload);
+  else
+    j.set("dfg", dfg_to_text(job.dfg));
+  j.set("select", select_to_json(job.select));
+  j.set("schedule", schedule_to_json(job.schedule));
+  j.set("refine", job.refine);
+  if (job.refine) {
+    Json r = Json::object();
+    r.set("candidate_pool", job.refinement.candidate_pool);
+    r.set("max_sweeps", job.refinement.max_sweeps);
+    j.set("refinement", std::move(r));
+  }
+  return j;
+}
+
+// -- readers --------------------------------------------------------------
+
+void reject_unknown_keys(const Json& obj, std::initializer_list<const char*> allowed,
+                         const std::string& where) {
+  for (const auto& [key, value] : obj.as_object()) {
+    bool known = false;
+    for (const char* a : allowed) known = known || key == a;
+    if (!known)
+      throw std::invalid_argument(where + ": unknown key '" + key + "'");
+  }
+}
+
+SelectOptions select_from_json(const Json& j, const std::string& where) {
+  reject_unknown_keys(j, {"pattern_count", "capacity", "epsilon", "alpha", "size_bonus",
+                          "span_limit", "generation"},
+                      where + ".select");
+  SelectOptions o;
+  if (const Json* v = j.find("pattern_count")) o.pattern_count = static_cast<std::size_t>(v->as_int());
+  if (const Json* v = j.find("capacity")) o.capacity = static_cast<std::size_t>(v->as_int());
+  if (const Json* v = j.find("epsilon")) o.epsilon = v->as_double();
+  if (const Json* v = j.find("alpha")) o.alpha = v->as_double();
+  if (const Json* v = j.find("size_bonus")) o.size_bonus = size_bonus_from(v->as_string());
+  if (const Json* v = j.find("span_limit"))
+    o.span_limit = v->is_null() ? std::nullopt
+                                : std::optional<int>(static_cast<int>(v->as_int()));
+  if (const Json* v = j.find("generation")) o.generation = generation_from(v->as_string());
+  return o;
+}
+
+MpScheduleOptions schedule_from_json(const Json& j, const std::string& where) {
+  reject_unknown_keys(j, {"rule", "tie_break", "seed", "random_pattern_ties"},
+                      where + ".schedule");
+  MpScheduleOptions o;
+  if (const Json* v = j.find("rule")) o.rule = rule_from(v->as_string());
+  if (const Json* v = j.find("tie_break")) o.tie_break = tie_break_from(v->as_string());
+  if (const Json* v = j.find("seed")) o.seed = static_cast<std::uint64_t>(v->as_int());
+  if (const Json* v = j.find("random_pattern_ties")) o.random_pattern_ties = v->as_bool();
+  return o;
+}
+
+Job job_from_json(const Json& j, std::size_t index) {
+  const std::string where =
+      "job #" + std::to_string(index) +
+      (j.find("name") != nullptr ? " ('" + j.at("name").as_string() + "')" : "");
+  reject_unknown_keys(
+      j, {"name", "workload", "dfg", "select", "schedule", "refine", "refinement"}, where);
+
+  Job job;
+  if (const Json* v = j.find("name")) job.name = v->as_string();
+  const Json* workload = j.find("workload");
+  const Json* dfg_text = j.find("dfg");
+  if ((workload != nullptr) == (dfg_text != nullptr))
+    throw std::invalid_argument(where + ": exactly one of 'workload' / 'dfg' is required");
+  if (workload != nullptr) {
+    job.workload = workload->as_string();
+    job.dfg = workloads::make_workload(job.workload);
+  } else {
+    job.dfg = dfg_from_text(dfg_text->as_string());
+  }
+  if (job.name.empty()) job.name = workload != nullptr ? job.workload : job.dfg.name();
+
+  if (const Json* v = j.find("select")) job.select = select_from_json(*v, where);
+  if (const Json* v = j.find("schedule")) job.schedule = schedule_from_json(*v, where);
+  if (const Json* v = j.find("refine")) job.refine = v->as_bool();
+  if (const Json* v = j.find("refinement")) {
+    // A refinement block on an unrefined job would be parsed and then
+    // silently dropped on re-serialization; that is a typo, not a request.
+    if (!job.refine)
+      throw std::invalid_argument(where + ": 'refinement' requires \"refine\": true");
+    reject_unknown_keys(*v, {"candidate_pool", "max_sweeps"}, where + ".refinement");
+    if (const Json* p = v->find("candidate_pool"))
+      job.refinement.candidate_pool = static_cast<std::size_t>(p->as_int());
+    if (const Json* p = v->find("max_sweeps"))
+      job.refinement.max_sweeps = static_cast<std::size_t>(p->as_int());
+  }
+  return job;
+}
+
+Json result_to_json(const JobResult& r, bool include_diagnostics) {
+  Json j = Json::object();
+  j.set("job", r.job);
+  j.set("workload", r.workload);
+  j.set("nodes", r.nodes);
+  j.set("edges", r.edges);
+  j.set("success", r.success);
+  if (!r.success) j.set("error", r.error);
+  Json patterns = Json::array();
+  for (const std::string& p : r.patterns) patterns.push_back(p);
+  j.set("patterns", std::move(patterns));
+  j.set("cycles", r.cycles);
+  j.set("critical_path", std::int64_t{r.critical_path});
+  j.set("antichains", r.antichains);
+  j.set("candidate_patterns", r.candidate_patterns);
+  j.set("refine_swaps", r.refine_swaps);
+  Json cycles = Json::array();
+  for (const int c : r.node_cycles) cycles.push_back(std::int64_t{c});
+  j.set("node_cycles", std::move(cycles));
+  if (include_diagnostics) {
+    j.set("cache_hit", r.analysis_cache_hit);
+    Json t = Json::object();
+    t.set("prepare_ms", r.timings.prepare_ms);
+    t.set("analysis_ms", r.timings.analysis_ms);
+    t.set("select_ms", r.timings.select_ms);
+    t.set("schedule_ms", r.timings.schedule_ms);
+    t.set("refine_ms", r.timings.refine_ms);
+    j.set("timings", std::move(t));
+  }
+  return j;
+}
+
+}  // namespace
+
+Json corpus_to_json(const std::vector<Job>& jobs) {
+  Json doc = Json::object();
+  doc.set("schema", kCorpusSchema);
+  Json arr = Json::array();
+  for (const Job& job : jobs) arr.push_back(job_to_json(job));
+  doc.set("jobs", std::move(arr));
+  return doc;
+}
+
+std::vector<Job> corpus_from_json(const Json& doc) {
+  if (const Json* schema = doc.find("schema"); schema == nullptr ||
+      schema->as_string() != kCorpusSchema)
+    throw std::invalid_argument(std::string("corpus: expected schema '") + kCorpusSchema +
+                                "'");
+  std::vector<Job> jobs;
+  const Json::Array& arr = doc.at("jobs").as_array();
+  jobs.reserve(arr.size());
+  for (std::size_t i = 0; i < arr.size(); ++i) jobs.push_back(job_from_json(arr[i], i));
+  return jobs;
+}
+
+Json batch_to_json(const BatchResult& batch, bool include_diagnostics) {
+  Json doc = Json::object();
+  doc.set("schema", kResultsSchema);
+  Json summary = Json::object();
+  summary.set("jobs", batch.jobs.size());
+  summary.set("succeeded", batch.succeeded());
+  doc.set("summary", std::move(summary));
+  if (include_diagnostics) {
+    Json d = Json::object();
+    d.set("wall_ms", batch.wall_ms);
+    d.set("analyses_computed", batch.analyses_computed);
+    d.set("analyses_reused", batch.analyses_reused);
+    d.set("cache_graph_hits", batch.cache_stats.graph_hits);
+    d.set("cache_analysis_hits", batch.cache_stats.analysis_hits);
+    d.set("cache_analysis_misses", batch.cache_stats.analysis_misses);
+    doc.set("diagnostics", std::move(d));
+  }
+  Json arr = Json::array();
+  for (const JobResult& r : batch.jobs) arr.push_back(result_to_json(r, include_diagnostics));
+  doc.set("jobs", std::move(arr));
+  return doc;
+}
+
+void save_corpus(const std::vector<Job>& jobs, const std::string& path) {
+  save_json(corpus_to_json(jobs), path);
+}
+
+std::vector<Job> load_corpus(const std::string& path) {
+  return corpus_from_json(load_json(path));
+}
+
+void save_batch_results(const BatchResult& batch, const std::string& path,
+                        bool include_diagnostics) {
+  save_json(batch_to_json(batch, include_diagnostics), path);
+}
+
+}  // namespace mpsched

@@ -1,0 +1,48 @@
+// JSON (de)serialization for the batch engine: corpus files (job lists
+// in) and result files (outcomes out). Used by tools/mpsched_batch and the
+// engine tests.
+//
+// Round-trip guarantees:
+//  * corpus_to_json(corpus_from_json(x)).dump() == Json::parse(x).dump()
+//    for documents produced by corpus_to_json — every option is emitted
+//    explicitly in a fixed key order, so the fixpoint is reached after one
+//    normalization pass (hand-written corpora may omit defaulted keys).
+//  * batch_to_json is deterministic: diagnostics that legitimately vary
+//    between runs (timings, cache hits) are excluded unless
+//    include_diagnostics is set, so two runs of the same corpus — at any
+//    thread count, cache warm or cold — serialize byte-identically.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "io/json.hpp"
+
+namespace mpsched {
+
+/// Schema tags embedded in the documents (checked on load).
+inline constexpr const char* kCorpusSchema = "mpsched.batch.corpus/v1";
+inline constexpr const char* kResultsSchema = "mpsched.batch.results/v1";
+
+/// Serializes a job list. Jobs built from a workload spec store the spec;
+/// jobs with a hand-built graph embed its .dfg text.
+Json corpus_to_json(const std::vector<engine::Job>& jobs);
+
+/// Parses a corpus document, instantiating each job's graph (from its
+/// workload spec or embedded dfg text). Unknown keys are rejected; omitted
+/// option keys keep their defaults. Throws std::invalid_argument /
+/// std::runtime_error with the offending job's name.
+std::vector<engine::Job> corpus_from_json(const Json& doc);
+
+/// Serializes batch results, index-aligned with the corpus.
+Json batch_to_json(const engine::BatchResult& batch, bool include_diagnostics = false);
+
+/// File wrappers.
+void save_corpus(const std::vector<engine::Job>& jobs, const std::string& path);
+std::vector<engine::Job> load_corpus(const std::string& path);
+void save_batch_results(const engine::BatchResult& batch, const std::string& path,
+                        bool include_diagnostics = false);
+
+}  // namespace mpsched

@@ -1,0 +1,136 @@
+#include "workloads/corpus.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/paper_graphs.hpp"
+#include "workloads/random_dag.hpp"
+
+namespace mpsched::workloads {
+
+namespace {
+
+struct ParsedSpec {
+  std::string name;
+  std::vector<std::size_t> args;
+};
+
+ParsedSpec parse_spec(const std::string& spec) {
+  const std::string_view s = trim(spec);
+  const std::size_t open = s.find('(');
+  ParsedSpec out;
+  if (open == std::string_view::npos) {
+    out.name = std::string(s);
+    return out;
+  }
+  if (s.empty() || s.back() != ')')
+    throw std::invalid_argument("workload spec '" + spec + "': missing ')'");
+  out.name = std::string(trim(s.substr(0, open)));
+  const std::string_view arg_list = s.substr(open + 1, s.size() - open - 2);
+  if (!trim(arg_list).empty()) {
+    for (const std::string& tok : split(arg_list, ','))
+      out.args.push_back(parse_size(trim(tok)));
+  }
+  return out;
+}
+
+void require_args(const ParsedSpec& p, std::size_t n, const char* usage) {
+  if (p.args.size() != n)
+    throw std::invalid_argument("workload '" + p.name + "' expects " + std::string(usage));
+}
+
+Dfg build(const ParsedSpec& p) {
+  if (p.name == "paper_3dft") {
+    require_args(p, 0, "no arguments");
+    return paper_3dft();
+  }
+  if (p.name == "small_example") {
+    require_args(p, 0, "no arguments");
+    return small_example();
+  }
+  if (p.name == "fir") {
+    require_args(p, 1, "(taps)");
+    return fir_filter(p.args[0]);
+  }
+  if (p.name == "iir") {
+    require_args(p, 1, "(sections)");
+    return iir_biquad_cascade(p.args[0]);
+  }
+  if (p.name == "matmul") {
+    require_args(p, 1, "(n)");
+    return matmul(p.args[0]);
+  }
+  if (p.name == "dct8") {
+    require_args(p, 0, "no arguments");
+    return dct8();
+  }
+  if (p.name == "horner") {
+    require_args(p, 1, "(degree)");
+    return horner(p.args[0]);
+  }
+  if (p.name == "bitonic") {
+    require_args(p, 1, "(n)");
+    return bitonic_sort(p.args[0]);
+  }
+  if (p.name == "stencil5") {
+    require_args(p, 2, "(width,height)");
+    return stencil5(p.args[0], p.args[1]);
+  }
+  if (p.name == "layered") {
+    require_args(p, 1, "(seed)");
+    return random_layered_dag(p.args[0]);
+  }
+  if (p.name == "series_parallel") {
+    require_args(p, 1, "(seed)");
+    return random_series_parallel(p.args[0]);
+  }
+  if (p.name == "expr_tree") {
+    require_args(p, 1, "(seed)");
+    return random_expression_tree(p.args[0]);
+  }
+  throw std::invalid_argument("unknown workload '" + p.name + "'");
+}
+
+}  // namespace
+
+Dfg make_workload(const std::string& spec) {
+  Dfg dfg = build(parse_spec(spec));
+  // Name the graph after its spec so results and cache keys are
+  // self-describing regardless of what the generator called it.
+  dfg.set_name(std::string(trim(spec)));
+  return dfg;
+}
+
+bool is_valid_workload(const std::string& spec) {
+  try {
+    build(parse_spec(spec));
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+std::vector<std::string> workload_usage() {
+  return {
+      "paper_3dft",       "small_example",     "fir(taps)",
+      "iir(sections)",    "matmul(n)",         "dct8",
+      "horner(degree)",   "bitonic(n)",        "stencil5(width,height)",
+      "layered(seed)",    "series_parallel(seed)", "expr_tree(seed)",
+  };
+}
+
+std::vector<std::string> demo_corpus_specs() {
+  // Duplicates are intentional: fir(28) three times and paper_3dft twice
+  // model the real harness corpus, where the same graphs recur. fir(28)
+  // (28 parallel multiplies feeding an adder tree) is the heavy job —
+  // a couple hundred thousand antichains — heavy enough that
+  // deduplication and root sharding both matter, light enough for the
+  // ASan CI leg.
+  return {
+      "fir(28)", "paper_3dft", "bitonic(8)", "fir(28)",
+      "dct8",    "layered(42)", "fir(28)",   "paper_3dft",
+  };
+}
+
+}  // namespace mpsched::workloads

@@ -1,0 +1,395 @@
+// The batch engine (src/engine): sharded enumeration equivalence, cache
+// bit-identity, cross-thread-count/cache-setting determinism, and the
+// corpus/results JSON round-trip — the contracts ISSUE 2 promises.
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "antichain/enumerate.hpp"
+#include "core/mp_schedule.hpp"
+#include "core/select.hpp"
+#include "io/result_io.hpp"
+#include "workloads/corpus.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+using engine::AnalysisCache;
+using engine::CacheKey;
+using engine::Engine;
+using engine::EngineOptions;
+using engine::Job;
+
+/// Field-by-field bit-identity of two antichain analyses.
+void expect_analysis_identical(const AntichainAnalysis& a, const AntichainAnalysis& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.count_by_size_span, b.count_by_size_span);
+  ASSERT_EQ(a.per_pattern.size(), b.per_pattern.size());
+  for (std::size_t i = 0; i < a.per_pattern.size(); ++i) {
+    EXPECT_EQ(a.per_pattern[i].pattern, b.per_pattern[i].pattern);
+    EXPECT_EQ(a.per_pattern[i].antichain_count, b.per_pattern[i].antichain_count);
+    EXPECT_EQ(a.per_pattern[i].node_frequency, b.per_pattern[i].node_frequency);
+    EXPECT_EQ(a.per_pattern[i].members, b.per_pattern[i].members);
+  }
+}
+
+/// A small mixed corpus covering both generation strategies, duplicates,
+/// and the refinement loop.
+std::vector<Job> test_corpus() {
+  std::vector<Job> jobs;
+  jobs.push_back(Job::from_workload("paper_3dft"));
+  jobs.push_back(Job::from_workload("small_example"));
+  jobs.push_back(Job::from_workload("fir(8)"));
+  jobs.push_back(Job::from_workload("paper_3dft"));  // duplicate of jobs[0]
+  Job analytic = Job::from_workload("stencil5(3,3)");
+  analytic.select.generation = PatternGeneration::LevelAnalytic;
+  jobs.push_back(std::move(analytic));
+  Job refined = Job::from_workload("dct8");
+  refined.refine = true;
+  refined.refinement.max_sweeps = 1;
+  jobs.push_back(std::move(refined));
+  return jobs;
+}
+
+TEST(EnumerateShards, PartitionMergeMatchesMonolithic) {
+  const Dfg dfg = workloads::paper_3dft();
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  EnumerateOptions options;
+  options.max_size = 5;
+  options.span_limit = 2;
+
+  const AntichainAnalysis whole = enumerate_antichains(dfg, levels, reach, options);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}, std::size_t{24}}) {
+    std::vector<std::vector<NodeId>> roots(shards);
+    for (NodeId r = 0; r < dfg.node_count(); ++r) roots[r % shards].push_back(r);
+    std::vector<AntichainAnalysis> parts;
+    for (const auto& shard : roots)
+      parts.push_back(enumerate_antichain_roots(dfg, levels, reach, options, shard));
+    const AntichainAnalysis merged =
+        merge_antichain_analyses(std::move(parts), dfg.node_count());
+    expect_analysis_identical(whole, merged);
+  }
+}
+
+TEST(EnumerateShards, MemberCollectionSurvivesMerging) {
+  const Dfg dfg = workloads::small_example();
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  EnumerateOptions options;
+  options.max_size = 2;
+  options.collect_members = true;
+
+  const AntichainAnalysis whole = enumerate_antichains(dfg, levels, reach, options);
+  std::vector<AntichainAnalysis> parts;
+  for (NodeId r = 0; r < dfg.node_count(); ++r)
+    parts.push_back(enumerate_antichain_roots(dfg, levels, reach, options, {r}));
+  expect_analysis_identical(whole,
+                            merge_antichain_analyses(std::move(parts), dfg.node_count()));
+}
+
+TEST(EnumerateShards, SharedCounterBoundsAcrossShards) {
+  // The max_antichains safety valve must bound the whole sharded analysis,
+  // not each shard separately: with a shared counter set to (total - 1),
+  // enumerating all shards in sequence has to trip the limit even though
+  // every individual shard stays under it.
+  const Dfg dfg = workloads::small_example();
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  EnumerateOptions options;
+  options.max_size = 2;
+
+  std::vector<NodeId> first{0, 1, 2}, second{3, 4};
+  const std::uint64_t t1 =
+      enumerate_antichain_roots(dfg, levels, reach, options, first).total;
+  const std::uint64_t t2 =
+      enumerate_antichain_roots(dfg, levels, reach, options, second).total;
+  ASSERT_GT(t1, 0u);
+  ASSERT_GT(t2, 0u);
+
+  options.max_antichains = t1 + t2 - 1;
+  std::atomic<std::uint64_t> shared{0};
+  EXPECT_NO_THROW(
+      enumerate_antichain_roots(dfg, levels, reach, options, first, &shared));
+  EXPECT_EQ(shared.load(), t1);
+  EXPECT_THROW(enumerate_antichain_roots(dfg, levels, reach, options, second, &shared),
+               std::exception);
+}
+
+TEST(EnumerateShards, RejectsForeignRoots) {
+  const Dfg dfg = workloads::small_example();
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  EXPECT_THROW(
+      enumerate_antichain_roots(dfg, levels, reach, {}, {static_cast<NodeId>(99)}),
+      std::exception);
+  // Duplicate roots would silently double-count; they must be rejected.
+  EXPECT_THROW(enumerate_antichain_roots(dfg, levels, reach, {}, {0, 1, 1}),
+               std::exception);
+}
+
+TEST(AnalysisCache, ContentAddressing) {
+  // Two independently built but identical graphs share a key; renaming
+  // the graph does not change it; changing structure or options does.
+  const Dfg a = workloads::paper_3dft();
+  Dfg b = workloads::paper_3dft();
+  b.set_name("a totally different display name");
+  EXPECT_EQ(AnalysisCache::graph_key(a), AnalysisCache::graph_key(b));
+  // Names — including hostile ones with embedded newlines — are display
+  // metadata and cannot perturb or collide the structural key.
+  b.set_name("x\nnode q a");
+  EXPECT_EQ(AnalysisCache::graph_key(a), AnalysisCache::graph_key(b));
+
+  // Node display names do not participate either: same structure, same key.
+  Dfg n1, n2;
+  n1.add_node("a", "p");
+  n1.add_node("b", "q");
+  n1.add_edge(0, 1);
+  n2.add_node("a", "renamed_p");
+  n2.add_node("b", "renamed_q");
+  n2.add_edge(0, 1);
+  EXPECT_EQ(AnalysisCache::graph_key(n1), AnalysisCache::graph_key(n2));
+
+  Dfg c = workloads::paper_3dft();
+  c.add_node("a", "extra");
+  EXPECT_NE(AnalysisCache::graph_key(a), AnalysisCache::graph_key(c));
+
+  const auto key = [&](std::size_t cap, std::optional<int> span) {
+    return AnalysisCache::analysis_key(a, PatternGeneration::SpanLimitedEnumeration, cap,
+                                       span);
+  };
+  EXPECT_EQ(key(5, 1), key(5, 1));
+  EXPECT_NE(key(5, 1), key(4, 1));
+  EXPECT_NE(key(5, 1), key(5, 2));
+  EXPECT_NE(key(5, 1), key(5, std::nullopt));
+  EXPECT_NE(key(5, 1), AnalysisCache::analysis_key(a, PatternGeneration::LevelAnalytic, 5,
+                                                   std::optional<int>(1)));
+
+  // The single-serialization pair matches the individual key functions.
+  const auto [graph_k, analysis_k] = AnalysisCache::content_keys(
+      a, PatternGeneration::SpanLimitedEnumeration, 5, std::optional<int>(1));
+  EXPECT_EQ(graph_k, AnalysisCache::graph_key(a));
+  EXPECT_EQ(analysis_k, key(5, 1));
+}
+
+TEST(AnalysisCache, HitReturnsBitIdenticalAnalysis) {
+  AnalysisCache cache;
+  EngineOptions options;
+  options.threads = 2;
+  options.cache = &cache;
+  Engine eng(options);
+
+  Job job = Job::from_workload("paper_3dft");
+  const engine::JobResult first = eng.run(job);
+  ASSERT_TRUE(first.success);
+  EXPECT_FALSE(first.analysis_cache_hit);
+
+  const engine::JobResult second = eng.run(job);
+  ASSERT_TRUE(second.success);
+  EXPECT_TRUE(second.analysis_cache_hit);
+
+  // The cached analysis is bit-identical to a fresh monolithic enumeration.
+  const CacheKey key = AnalysisCache::analysis_key(
+      job.dfg, job.select.generation, job.select.capacity, job.select.span_limit);
+  const auto cached = cache.find_analysis(key);
+  ASSERT_NE(cached, nullptr);
+  EnumerateOptions eo;
+  eo.max_size = job.select.capacity;
+  eo.span_limit = job.select.span_limit;
+  expect_analysis_identical(enumerate_antichains(job.dfg, eo), *cached);
+
+  // Identity, not just equality: repeated lookups share one object.
+  EXPECT_EQ(cache.find_analysis(key).get(), cached.get());
+
+  // Exactly one analysis was ever computed for the two runs.
+  EXPECT_EQ(cache.stats().analysis_misses, 1u);
+  EXPECT_GE(cache.stats().analysis_hits, 1u);
+}
+
+TEST(Engine, MatchesHandWiredPipeline) {
+  const Job job = Job::from_workload("paper_3dft");
+  Engine eng;
+  const engine::JobResult result = eng.run(job);
+  ASSERT_TRUE(result.success);
+
+  const SelectionResult selection = select_patterns(job.dfg, job.select);
+  const MpScheduleResult scheduled =
+      multi_pattern_schedule(job.dfg, selection.patterns, job.schedule);
+  ASSERT_TRUE(scheduled.success);
+
+  EXPECT_EQ(result.cycles, scheduled.cycles);
+  EXPECT_EQ(result.antichains, selection.antichains_enumerated);
+  ASSERT_EQ(result.patterns.size(), selection.patterns.size());
+  for (std::size_t i = 0; i < result.patterns.size(); ++i)
+    EXPECT_EQ(result.patterns[i], selection.patterns[i].to_string(job.dfg));
+  ASSERT_EQ(result.node_cycles.size(), job.dfg.node_count());
+  for (NodeId n = 0; n < job.dfg.node_count(); ++n)
+    EXPECT_EQ(result.node_cycles[n], scheduled.schedule.cycle_of(n));
+}
+
+TEST(Engine, DeterministicAcrossThreadCountsAndCacheSettings) {
+  const std::vector<Job> jobs = test_corpus();
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    for (const bool use_cache : {true, false}) {
+      EngineOptions options;
+      options.threads = threads;
+      options.use_cache = use_cache;
+      Engine eng(options);
+      const engine::BatchResult batch = eng.run_batch(jobs);
+      EXPECT_EQ(batch.succeeded(), jobs.size());
+      const std::string serialized = batch_to_json(batch).dump();
+      if (reference.empty()) reference = serialized;
+      EXPECT_EQ(serialized, reference)
+          << "results diverge at threads=" << threads << " cache=" << use_cache;
+    }
+  }
+}
+
+TEST(Engine, CacheOffComputesEveryJob) {
+  EngineOptions options;
+  options.use_cache = false;
+  Engine eng(options);
+  const std::vector<Job> jobs = test_corpus();
+  const engine::BatchResult batch = eng.run_batch(jobs);
+  EXPECT_EQ(batch.analyses_computed, jobs.size());
+  EXPECT_EQ(batch.analyses_reused, 0u);
+  for (const engine::JobResult& r : batch.jobs) EXPECT_FALSE(r.analysis_cache_hit);
+}
+
+TEST(Engine, CacheOnDeduplicatesWithinBatch) {
+  Engine eng;  // fresh private cache
+  const std::vector<Job> jobs = test_corpus();  // contains paper_3dft twice
+  const engine::BatchResult batch = eng.run_batch(jobs);
+  EXPECT_EQ(batch.succeeded(), jobs.size());
+  EXPECT_EQ(batch.analyses_computed, jobs.size() - 1);
+  EXPECT_EQ(batch.analyses_reused, 1u);
+
+  // A second identical batch is served entirely by the cache.
+  const engine::BatchResult warm = eng.run_batch(jobs);
+  EXPECT_EQ(warm.analyses_computed, 0u);
+  EXPECT_EQ(warm.analyses_reused, jobs.size());
+  for (const engine::JobResult& r : warm.jobs) EXPECT_TRUE(r.analysis_cache_hit);
+  EXPECT_EQ(batch_to_json(warm).dump(), batch_to_json(batch).dump());
+}
+
+TEST(Engine, SchedulerFailureIsReportedNotThrown) {
+  // Pdef=1 with C=1 on a 3-color graph: the single selected pattern can
+  // hold one color, so the set cannot cover the graph and the scheduler
+  // must refuse. The engine reports that as a failed JobResult — it never
+  // lets the exception/abort escape the batch.
+  Job job = Job::from_workload("paper_3dft");
+  job.select.pattern_count = 1;
+  job.select.capacity = 1;
+  Engine eng;
+  const engine::JobResult r = eng.run(job);
+  EXPECT_FALSE(r.success);
+  EXPECT_FALSE(r.error.empty());
+  EXPECT_TRUE(r.node_cycles.empty());
+}
+
+TEST(Engine, JobNamesBackFill) {
+  // Unnamed jobs resolve to the workload spec, else the graph's name —
+  // identically in results and corpus files (Job::resolved_name).
+  Job unnamed;
+  unnamed.dfg = workloads::small_example();
+  Job from_spec = Job::from_workload("dct8");
+  from_spec.name.clear();
+  Engine eng;
+  const engine::BatchResult batch = eng.run_batch({unnamed, from_spec});
+  EXPECT_EQ(batch.jobs[0].job, "fig4-small-example");
+  EXPECT_EQ(batch.jobs[1].job, "dct8");
+}
+
+TEST(CorpusIo, JsonRoundTripIsFixpoint) {
+  std::vector<Job> jobs = test_corpus();
+  // Also exercise an embedded-graph job (no workload spec).
+  Job inline_job;
+  inline_job.name = "inline";
+  inline_job.dfg = workloads::small_example();
+  inline_job.select.span_limit = std::nullopt;  // serializes as null
+  jobs.push_back(std::move(inline_job));
+  // An unnamed job: the writer must normalize the name the same way the
+  // reader back-fills it, or save → load → save would not be a fixpoint.
+  Job unnamed;
+  unnamed.dfg = workloads::small_example();
+  jobs.push_back(std::move(unnamed));
+
+  const std::string once = corpus_to_json(jobs).dump(2);
+  const std::vector<Job> reloaded = corpus_from_json(Json::parse(once));
+  const std::string twice = corpus_to_json(reloaded).dump(2);
+  EXPECT_EQ(once, twice);
+
+  ASSERT_EQ(reloaded.size(), jobs.size());
+  EXPECT_EQ(reloaded.back().name, "fig4-small-example");  // back-filled
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].name.empty()) {
+      EXPECT_EQ(reloaded[i].name, jobs[i].name);
+    }
+    EXPECT_EQ(reloaded[i].dfg.node_count(), jobs[i].dfg.node_count());
+    EXPECT_EQ(reloaded[i].dfg.edge_count(), jobs[i].dfg.edge_count());
+    EXPECT_EQ(reloaded[i].select.span_limit, jobs[i].select.span_limit);
+    EXPECT_EQ(reloaded[i].select.generation, jobs[i].select.generation);
+    EXPECT_EQ(reloaded[i].refine, jobs[i].refine);
+  }
+
+  // And the reloaded corpus runs to the same results as the original.
+  Engine eng;
+  EXPECT_EQ(batch_to_json(eng.run_batch(jobs)).dump(),
+            batch_to_json(eng.run_batch(reloaded)).dump());
+}
+
+TEST(CorpusIo, RejectsMalformedCorpora) {
+  EXPECT_THROW(corpus_from_json(Json::parse(R"({"jobs":[]})")), std::invalid_argument);
+  const std::string header = R"({"schema":"mpsched.batch.corpus/v1","jobs":)";
+  // Unknown keys are typos, not extensions.
+  EXPECT_THROW(corpus_from_json(
+                   Json::parse(header + R"([{"workload":"dct8","selct":{}}]})")),
+               std::invalid_argument);
+  // Exactly one graph source.
+  EXPECT_THROW(corpus_from_json(Json::parse(header + R"([{"name":"x"}]})")),
+               std::invalid_argument);
+  EXPECT_THROW(
+      corpus_from_json(Json::parse(
+          header + R"([{"workload":"dct8","dfg":"dfg d\nnode n a\n"}]})")),
+      std::invalid_argument);
+  // Unknown workload spec.
+  EXPECT_THROW(
+      corpus_from_json(Json::parse(header + R"j([{"workload":"nope(3)"}]})j")),
+      std::invalid_argument);
+  // Bad enum value.
+  EXPECT_THROW(corpus_from_json(Json::parse(
+                   header + R"([{"workload":"dct8","select":{"generation":"magic"}}]})")),
+               std::invalid_argument);
+  // A refinement block without "refine": true would be silently dropped on
+  // re-serialization; reject it instead.
+  EXPECT_THROW(
+      corpus_from_json(Json::parse(
+          header + R"([{"workload":"dct8","refinement":{"max_sweeps":3}}]})")),
+      std::invalid_argument);
+}
+
+TEST(Workloads, SpecRegistry) {
+  for (const std::string& spec : workloads::demo_corpus_specs()) {
+    EXPECT_TRUE(workloads::is_valid_workload(spec)) << spec;
+    const Dfg dfg = workloads::make_workload(spec);
+    EXPECT_GT(dfg.node_count(), 0u) << spec;
+    EXPECT_EQ(dfg.name(), spec);
+  }
+  // Deterministic: same spec, same graph.
+  const Dfg a = workloads::make_workload("layered(42)");
+  const Dfg b = workloads::make_workload("layered(42)");
+  EXPECT_EQ(AnalysisCache::graph_key(a), AnalysisCache::graph_key(b));
+
+  EXPECT_THROW(workloads::make_workload("unknown_thing"), std::invalid_argument);
+  EXPECT_THROW(workloads::make_workload("fir"), std::invalid_argument);
+  EXPECT_THROW(workloads::make_workload("fir(1,2)"), std::invalid_argument);
+  EXPECT_THROW(workloads::make_workload("fir(x)"), std::invalid_argument);
+  EXPECT_THROW(workloads::make_workload("stencil5(2"), std::invalid_argument);
+  EXPECT_FALSE(workloads::is_valid_workload("bogus(1)"));
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -1,0 +1,183 @@
+// io/json: the engine's interchange format. Round-trips must be exact and
+// serialization deterministic — corpus fixpoints and the engine's
+// "identical JSON" guarantee both stand on this.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace mpsched {
+namespace {
+
+TEST(Json, PrimitivesDumpCanonically) {
+  EXPECT_EQ(Json(nullptr).dump(), "null");
+  EXPECT_EQ(Json(true).dump(), "true");
+  EXPECT_EQ(Json(false).dump(), "false");
+  EXPECT_EQ(Json(std::int64_t{42}).dump(), "42");
+  EXPECT_EQ(Json(std::int64_t{-7}).dump(), "-7");
+  EXPECT_EQ(Json("hi").dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).dump(), "1.5");
+  // Integral doubles keep their double-ness visible.
+  EXPECT_EQ(Json(2.0).dump(), "2.0");
+}
+
+TEST(Json, IntAndDoubleAreDistinct) {
+  const Json i = Json::parse("10");
+  const Json d = Json::parse("10.0");
+  EXPECT_TRUE(i.is_int());
+  EXPECT_TRUE(d.is_double());
+  EXPECT_EQ(i.as_int(), 10);
+  EXPECT_DOUBLE_EQ(d.as_double(), 10.0);
+  // as_int tolerates integral doubles; as_double tolerates ints.
+  EXPECT_EQ(d.as_int(), 10);
+  EXPECT_DOUBLE_EQ(i.as_double(), 10.0);
+}
+
+TEST(Json, LargeCountsRoundTripExactly) {
+  const std::uint64_t count = 123456789012345ULL;
+  const Json j(count);
+  const Json back = Json::parse(j.dump());
+  EXPECT_EQ(static_cast<std::uint64_t>(back.as_int()), count);
+}
+
+TEST(Json, Uint64LiteralsAboveInt64MaxParseBitCast) {
+  // A uint64 seed written literally in a corpus must load; it is stored
+  // bit-cast as a negative int64 and read back by uint64 consumers.
+  const Json big = Json::parse("12345678901234567890");
+  EXPECT_EQ(static_cast<std::uint64_t>(big.as_int()), 12345678901234567890ULL);
+  // Beyond uint64 max is a clean range error, not UB or truncation.
+  EXPECT_THROW(Json::parse("123456789012345678901234"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-99999999999999999999"), std::invalid_argument);
+}
+
+TEST(Json, StringEscapes) {
+  const std::string raw = "a\"b\\c\nd\te\rf\bg\fh";
+  const Json j(raw);
+  EXPECT_EQ(Json::parse(j.dump()).as_string(), raw);
+  // Control characters serialize as \u escapes and parse back.
+  const std::string ctl("\x01\x1f", 2);
+  EXPECT_EQ(Json::parse(Json(ctl).dump()).as_string(), ctl);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  EXPECT_EQ(Json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(Json::parse("\"\\u00e9\"").as_string(), "\xc3\xa9");    // é
+  EXPECT_EQ(Json::parse("\"\\u20ac\"").as_string(), "\xe2\x82\xac");  // €
+  // Surrogate pairs combine into one valid UTF-8 sequence (U+1D11E, 𝄞).
+  EXPECT_EQ(Json::parse("\"\\ud834\\udd1e\"").as_string(), "\xf0\x9d\x84\x9e");
+  // Lone or mismatched surrogates are errors, never CESU-8 output.
+  EXPECT_THROW(Json::parse("\"\\ud834\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\ud834x\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\ud834\\u0041\""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"\\udd1e\""), std::invalid_argument);
+}
+
+TEST(Json, ObjectPreservesInsertionOrder) {
+  Json obj = Json::object();
+  obj.set("zebra", 1);
+  obj.set("alpha", 2);
+  obj.set("mid", 3);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Overwrite keeps the original slot.
+  obj.set("alpha", 9);
+  EXPECT_EQ(obj.dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, NestedRoundTripIsFixpoint) {
+  const std::string text =
+      R"({"a":[1,2.5,"x",null,true],"b":{"c":[],"d":{}},"e":-3})";
+  const Json doc = Json::parse(text);
+  EXPECT_EQ(doc.dump(), text);
+  EXPECT_EQ(Json::parse(doc.dump(2)).dump(), text);  // pretty → compact fixpoint
+}
+
+TEST(Json, PrettyPrintIndents) {
+  Json obj = Json::object();
+  obj.set("k", Json::array());
+  obj.as_object()[0].second.push_back(1);
+  EXPECT_EQ(obj.dump(2), "{\n  \"k\": [\n    1\n  ]\n}");
+}
+
+TEST(Json, FindAtAndTypeErrors) {
+  const Json doc = Json::parse(R"({"x":1})");
+  ASSERT_NE(doc.find("x"), nullptr);
+  EXPECT_EQ(doc.find("y"), nullptr);
+  EXPECT_EQ(doc.at("x").as_int(), 1);
+  EXPECT_THROW(doc.at("y"), std::runtime_error);
+  EXPECT_THROW(doc.at("x").as_string(), std::runtime_error);
+  EXPECT_THROW(Json(1.5).as_int(), std::runtime_error);
+}
+
+TEST(Json, ParseErrorsCarryLineNumbers) {
+  try {
+    Json::parse("{\n  \"a\": 1,\n  \"a\": 2\n}");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("duplicate key"), std::string::npos);
+  }
+}
+
+TEST(Json, RejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("\"unterminated"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("0x10"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("--1"), std::invalid_argument);
+  // Whole-token number validation: no silent prefix truncation.
+  EXPECT_THROW(Json::parse("1.2.3"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1-1"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1e]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1ee5"), std::invalid_argument);
+  // RFC 8259 number grammar: no leading zeros / '+' / bare '.'.
+  EXPECT_THROW(Json::parse("01"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("+1"), std::invalid_argument);
+  EXPECT_THROW(Json::parse(".5"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1."), std::invalid_argument);
+  EXPECT_THROW(Json::parse("-"), std::invalid_argument);
+  // Valid forms still parse.
+  EXPECT_EQ(Json::parse("0").as_int(), 0);
+  EXPECT_EQ(Json::parse("-0.5").as_double(), -0.5);
+  EXPECT_EQ(Json::parse("1e2").as_double(), 100.0);
+  EXPECT_EQ(Json::parse("-1E+2").as_double(), -100.0);
+}
+
+TEST(Json, AsIntRejectsOutOfRangeDoubles) {
+  EXPECT_THROW(Json(1e300).as_int(), std::runtime_error);
+  EXPECT_THROW(Json(-1e300).as_int(), std::runtime_error);
+  EXPECT_THROW(Json(9.3e18).as_int(), std::runtime_error);  // just past int64 max
+  EXPECT_EQ(Json(-9.0e18).as_int(), -9000000000000000000LL);
+}
+
+TEST(Json, DeepNestingFailsCleanly) {
+  // 100k unbalanced brackets must produce a parse error, not a stack
+  // overflow; the parser caps container depth at 256.
+  EXPECT_THROW(Json::parse(std::string(100000, '[')), std::invalid_argument);
+  EXPECT_THROW(Json::parse(std::string(100000, '{')), std::invalid_argument);
+  // 200 levels is fine.
+  const std::string ok = std::string(200, '[') + "1" + std::string(200, ']');
+  EXPECT_EQ(Json::parse(ok).dump(), ok);
+}
+
+TEST(Json, FileSaveLoadRoundTrip) {
+  const std::string path = testing::TempDir() + "json_test_roundtrip.json";
+  Json doc = Json::object();
+  doc.set("jobs", Json::array());
+  doc.set("n", 3);
+  save_json(doc, path);
+  EXPECT_EQ(load_json(path).dump(), doc.dump());
+  std::remove(path.c_str());
+}
+
+TEST(Json, LoadMissingFileThrows) {
+  EXPECT_THROW(load_json("/nonexistent/dir/x.json"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mpsched

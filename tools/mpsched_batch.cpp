@@ -1,0 +1,169 @@
+// mpsched_batch — batch scheduling CLI over the engine (src/engine).
+//
+// Loads a JSON scenario corpus (job list), executes it on the engine, and
+// writes a JSON results file. The results are deterministic: the same
+// corpus produces byte-identical output at any --threads value, cache on
+// or off.
+//
+// Usage:
+//   mpsched_batch --corpus FILE --out FILE [--threads N] [--no-cache]
+//                 [--diagnostics] [--compact]
+//   mpsched_batch --demo FILE        write the built-in 8-job demo corpus
+//   mpsched_batch --list             list accepted workload specs
+//   mpsched_batch --selftest         in-memory corpus round-trip +
+//                                    determinism check (used by ctest)
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "io/result_io.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/corpus.hpp"
+
+using namespace mpsched;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage:\n"
+      "  %s --corpus FILE --out FILE [--threads N] [--no-cache] [--diagnostics]\n"
+      "     [--compact]\n"
+      "  %s --demo FILE\n"
+      "  %s --list\n"
+      "  %s --selftest\n",
+      argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+std::vector<engine::Job> demo_jobs() {
+  std::vector<engine::Job> jobs;
+  for (const std::string& spec : workloads::demo_corpus_specs())
+    jobs.push_back(engine::Job::from_workload(spec));
+  return jobs;
+}
+
+void print_summary(const engine::BatchResult& batch) {
+  TextTable t({"job", "nodes", "patterns", "cycles", "lower bound", "antichains", "status"});
+  for (const engine::JobResult& r : batch.jobs)
+    t.add(r.job, std::to_string(r.nodes), join(r.patterns, " "),
+          r.success ? std::to_string(r.cycles) : "-", std::to_string(r.critical_path),
+          std::to_string(r.antichains), r.success ? "ok" : ("FAILED: " + r.error));
+  std::fputs(t.to_string().c_str(), stdout);
+  std::printf("%zu/%zu jobs succeeded in %.1f ms (analyses: %zu computed, %zu reused)\n",
+              batch.succeeded(), batch.jobs.size(), batch.wall_ms,
+              batch.analyses_computed, batch.analyses_reused);
+}
+
+/// Corpus → JSON → corpus → JSON fixpoint, plus engine determinism across
+/// thread counts and cache settings. Exercises exactly the properties the
+/// results file promises.
+int selftest() {
+  const std::vector<engine::Job> jobs = demo_jobs();
+
+  const std::string corpus1 = corpus_to_json(jobs).dump(2);
+  const std::string corpus2 = corpus_to_json(corpus_from_json(Json::parse(corpus1))).dump(2);
+  if (corpus1 != corpus2) {
+    std::printf("FAIL: corpus JSON round-trip is not a fixpoint\n");
+    return 1;
+  }
+  std::printf("corpus round-trip: %zu jobs, %zu bytes, fixpoint ok\n", jobs.size(),
+              corpus1.size());
+
+  std::string reference;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
+    for (const bool use_cache : {true, false}) {
+      engine::EngineOptions options;
+      options.threads = threads;
+      options.use_cache = use_cache;
+      engine::Engine eng(options);
+      const engine::BatchResult batch = eng.run_batch(jobs);
+      if (batch.succeeded() != batch.jobs.size()) {
+        std::printf("FAIL: %zu jobs failed (threads=%zu cache=%d)\n",
+                    batch.jobs.size() - batch.succeeded(), threads, use_cache);
+        return 1;
+      }
+      const std::string out = batch_to_json(batch).dump(2);
+      if (reference.empty()) reference = out;
+      if (out != reference) {
+        std::printf("FAIL: results differ at threads=%zu cache=%d\n", threads, use_cache);
+        return 1;
+      }
+    }
+  }
+  std::printf("determinism: identical results JSON across threads {1,2} x cache {on,off}\n");
+  std::printf("selftest passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string corpus_path, out_path, demo_path;
+  std::size_t threads = 0;
+  bool no_cache = false, diagnostics = false, compact = false, list = false,
+       run_selftest = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&]() -> std::string {
+        if (i + 1 >= argc) {
+          std::printf("error: %s needs a value\n", arg.c_str());
+          std::exit(2);
+        }
+        return argv[++i];
+      };
+      if (arg == "--corpus") corpus_path = value();
+      else if (arg == "--out") out_path = value();
+      else if (arg == "--demo") demo_path = value();
+      else if (arg == "--threads") threads = parse_size(value());
+      else if (arg == "--no-cache") no_cache = true;
+      else if (arg == "--diagnostics") diagnostics = true;
+      else if (arg == "--compact") compact = true;
+      else if (arg == "--list") list = true;
+      else if (arg == "--selftest") run_selftest = true;
+      else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+      else {
+        std::printf("error: unknown argument '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    if (run_selftest) return selftest();
+
+    if (list) {
+      std::printf("workload specs:\n");
+      for (const std::string& u : workloads::workload_usage())
+        std::printf("  %s\n", u.c_str());
+      return 0;
+    }
+
+    if (!demo_path.empty()) {
+      const std::vector<engine::Job> jobs = demo_jobs();
+      save_corpus(jobs, demo_path);
+      std::printf("wrote %zu-job demo corpus to %s\n", jobs.size(), demo_path.c_str());
+      return 0;
+    }
+
+    if (corpus_path.empty() || out_path.empty()) return usage(argv[0]);
+
+    const std::vector<engine::Job> jobs = load_corpus(corpus_path);
+    engine::EngineOptions options;
+    options.threads = threads;
+    options.use_cache = !no_cache;
+    engine::Engine eng(options);
+    const engine::BatchResult batch = eng.run_batch(jobs);
+
+    print_summary(batch);
+    save_json(batch_to_json(batch, diagnostics), out_path, compact ? -1 : 2);
+    std::printf("results written to %s\n", out_path.c_str());
+    return batch.succeeded() == batch.jobs.size() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+}
