@@ -10,12 +10,22 @@
 //   engine/cold engine with the cache disabled (no dedup) — isolates what
 //               sharding alone buys
 //
+// Two further comparisons ride on the same corpus:
+//   disk tier    cold run populating a --cache-dir vs. a fresh engine
+//                (a second process, effectively) warming from it — the
+//                warm run must recompute nothing and byte-match
+//   sharding     uniform vs. cost-adaptive shard plans on a skewed
+//                workload (one heavy graph dominating the batch), where
+//                uniform-by-root chunks leave the pool idle
+//
 // Hard gates: engine results equal the sequential results job-for-job,
-// engine wall time ≤ sequential wall time (the acceptance criterion), and
-// results JSON is byte-identical across thread counts 1/2/8 and cache
-// on/off.
+// engine wall time ≤ sequential wall time (the acceptance criterion),
+// results JSON is byte-identical across thread counts 1/2/8, cache
+// on/off/disk-warm, and both shard policies, and the warm-disk run
+// recomputes zero analyses.
 #include <algorithm>
 #include <cstdio>
+#include <filesystem>
 #include <string>
 #include <vector>
 
@@ -23,6 +33,7 @@
 #include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "core/select.hpp"
+#include "engine/cache_store.hpp"
 #include "engine/engine.hpp"
 #include "io/result_io.hpp"
 #include "util/table.hpp"
@@ -139,5 +150,73 @@ int main() {
                "threads=" + std::to_string(threads) + " produces identical results JSON");
   }
 
-  return gate.finish("engine batch throughput + determinism");
+  // ---- disk tier: cold populate vs. warm second "process" ----------------
+  namespace fs = std::filesystem;
+  const fs::path cache_dir = fs::path("bench_engine_batch.cache");
+  fs::remove_all(cache_dir);
+  {
+    engine::EngineOptions disk_options;
+    disk_options.cache_dir = cache_dir.string();
+
+    engine::Engine disk_cold(disk_options);
+    const engine::BatchResult populate = disk_cold.run_batch(jobs);
+    const double disk_cold_ms = populate.wall_ms;
+
+    // A fresh engine on the same directory models the second process: its
+    // memory tier is empty, so every analysis must come off the disk.
+    engine::Engine disk_warm(disk_options);
+    const engine::BatchResult warm = disk_warm.run_batch(jobs);
+    const double disk_warm_ms = warm.wall_ms;
+
+    std::printf("\ndisk cache tier (%zu entries): cold %.1f ms -> warm %.1f ms (%.2fx)\n",
+                disk_warm.cache().disk_store()->entry_count(), disk_cold_ms, disk_warm_ms,
+                disk_warm_ms > 0 ? disk_cold_ms / disk_warm_ms : 0.0);
+    gate.check(batch_to_json(populate).dump() == reference,
+               "cold disk-cache run produces identical results JSON");
+    gate.check(batch_to_json(warm).dump() == reference,
+               "warm disk-cache run produces identical results JSON");
+    gate.check(warm.analyses_computed == 0,
+               "warm disk-cache run recomputed zero analyses (got " +
+                   std::to_string(warm.analyses_computed) + ")");
+    gate.check(disk_warm.cache().disk_store()->stats().disk_corrupt == 0,
+               "no cache entry was flagged corrupt");
+  }
+  fs::remove_all(cache_dir);
+
+  // ---- sharding: uniform vs. cost-adaptive on a skewed workload ----------
+  // One heavy unique graph dominates: uniform-by-root chunks put all the
+  // expensive low-id roots into a few shards; the adaptive packer sizes
+  // shards by estimated subtree cost instead. Cache off — dedup must not
+  // mask the balance difference — a pinned 8-worker pool so the shard
+  // plan (not the host's core count) is what differs, and best-of-two per
+  // policy so one noisy CI scheduling can't distort the reported delta.
+  const std::vector<engine::Job> skewed{engine::Job::from_workload("fir(28)")};
+  double policy_ms[2] = {0, 0};
+  std::string policy_json[2];
+  const engine::ShardPolicy policies[2] = {engine::ShardPolicy::Uniform,
+                                           engine::ShardPolicy::Adaptive};
+  for (int p = 0; p < 2; ++p) {
+    for (int pass = 0; pass < 2; ++pass) {
+      engine::EngineOptions options;
+      options.use_cache = false;
+      options.threads = 8;
+      options.shard_policy = policies[p];
+      engine::Engine eng(options);
+      const engine::BatchResult run = eng.run_batch(skewed);
+      if (pass == 0) {
+        policy_ms[p] = run.wall_ms;
+        policy_json[p] = batch_to_json(run).dump();
+      } else {
+        policy_ms[p] = std::min(policy_ms[p], run.wall_ms);
+      }
+    }
+  }
+  std::printf("skewed workload (fir(28) alone, cache off): uniform %.1f ms, adaptive "
+              "%.1f ms (%+.1f%%)\n",
+              policy_ms[0], policy_ms[1],
+              policy_ms[0] > 0 ? 100.0 * (policy_ms[1] - policy_ms[0]) / policy_ms[0] : 0.0);
+  gate.check(policy_json[0] == policy_json[1],
+             "uniform and adaptive sharding produce identical results JSON");
+
+  return gate.finish("engine batch throughput + disk tier + sharding + determinism");
 }

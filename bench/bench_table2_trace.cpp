@@ -40,10 +40,10 @@ int main() {
   options.tie_break = TieBreak::Stable;
   options.record_trace = true;
   const MpScheduleResult result = multi_pattern_schedule(dfg, patterns, options);
-  if (!result.success) {
-    std::printf("scheduling failed: %s\n", result.error.c_str());
-    return 1;
-  }
+  bench::Gate gate;
+  gate.check(result.success, "scheduling succeeded" +
+                                 (result.success ? std::string() : ": " + result.error));
+  if (!result.success) return gate.finish("Table 2 (scheduling failed)");
 
   // Paper rows (selected sets per pattern and chosen pattern).
   struct Row {
@@ -62,28 +62,42 @@ int main() {
       {"a19", "a19", "a19", 1},
   };
 
+  // Every published cell is pinned: the candidate list, both per-pattern
+  // selected sets, and the chosen pattern of all 7 cycles are fully
+  // determined by the reconstruction, so any drift is a regression.
+  gate.check_eq(static_cast<long long>(std::size(paper)),
+                static_cast<long long>(result.trace.size()), "trace length");
+
   TextTable t({"cycle", "candidate list", "S(p1,CL)", "S(p2,CL)", "selected (paper/ours)",
                "match"});
-  int mismatches = 0;
   for (std::size_t c = 0; c < result.trace.size(); ++c) {
     const MpTraceStep& step = result.trace[c];
     const bool have_paper = c < std::size(paper);
     const std::string cl = joined(dfg, step.candidates);
     const std::string s1 = joined(dfg, step.selected[0]);
     const std::string s2 = joined(dfg, step.selected[1]);
-    bool ok = have_paper && cl == paper[c].candidates && s1 == paper[c].p1 &&
-              s2 == paper[c].p2 && static_cast<int>(step.chosen_pattern) + 1 == paper[c].chosen;
-    if (!ok) ++mismatches;
+    const std::string cell = "cycle " + std::to_string(c + 1);
+    bool ok = have_paper;
+    if (have_paper) {
+      gate.check(cl == paper[c].candidates,
+                 cell + " candidate list: paper=" + paper[c].candidates + " ours=" + cl);
+      gate.check(s1 == paper[c].p1,
+                 cell + " S(p1,CL): paper=" + paper[c].p1 + " ours=" + s1);
+      gate.check(s2 == paper[c].p2,
+                 cell + " S(p2,CL): paper=" + paper[c].p2 + " ours=" + s2);
+      gate.check_eq(paper[c].chosen, static_cast<long long>(step.chosen_pattern) + 1,
+                    cell + " chosen pattern");
+      ok = cl == paper[c].candidates && s1 == paper[c].p1 && s2 == paper[c].p2 &&
+           static_cast<int>(step.chosen_pattern) + 1 == paper[c].chosen;
+    }
     t.add(step.cycle, cl, s1, s2,
           (have_paper ? std::to_string(paper[c].chosen) : std::string("-")) + "/" +
               std::to_string(step.chosen_pattern + 1),
           ok ? "exact" : "DIFFERS");
   }
   std::fputs(t.to_string().c_str(), stdout);
+  gate.check_eq(7, static_cast<long long>(result.cycles), "total cycles");
   std::printf("\nTotal cycles: paper 7, ours %zu (%s)\n", result.cycles,
               bench::match(7, static_cast<long long>(result.cycles)).c_str());
-  std::printf("Result: %s\n", mismatches == 0 && result.cycles == 7
-                                  ? "Table 2 reproduced exactly (all cells)"
-                                  : "MISMATCH — see rows above");
-  return mismatches == 0 ? 0 : 1;
+  return gate.finish("Table 2 (all 7 rows x 4 columns pinned exact)");
 }

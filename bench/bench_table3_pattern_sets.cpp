@@ -21,23 +21,39 @@ int main() {
   struct Case {
     const char* text;
     std::size_t paper_cycles;
+    /// The reconstruction's own stable value — within 1 cycle of the paper
+    /// (the exact counts depend on the unpublished fine structure of the
+    /// authors' graph) and pinned exactly so any scheduler or graph drift
+    /// fails the smoke test.
+    std::size_t reproduced_cycles;
   };
   const Case cases[] = {
-      {"{a,b,c,b,c} {b,b,b,a,b} {b,b,b,c,b} {b,a,b,a,a}", 8},
-      {"{a,b,c,b,c} {b,c,b,c,a} {c,b,a,b,a} {b,b,c,c,b}", 9},
-      {"{a,b,c,c,c} {a,a,b,a,c} {c,c,c,a,a} {a,b,a,b,b}", 7},
+      {"{a,b,c,b,c} {b,b,b,a,b} {b,b,b,c,b} {b,a,b,a,a}", 8, 8},
+      {"{a,b,c,b,c} {b,c,b,c,a} {c,b,a,b,a} {b,b,c,c,b}", 9, 8},
+      {"{a,b,c,c,c} {a,a,b,a,c} {c,c,c,a,a} {a,b,a,b,b}", 7, 6},
   };
 
+  bench::Gate gate;
   TextTable t({"patterns", "paper", "ours", "match"});
   std::vector<std::size_t> ours;
   for (const Case& c : cases) {
     const PatternSet set = parse_pattern_set(dfg, c.text);
     const MpScheduleResult r = multi_pattern_schedule(dfg, set);
-    if (!r.success) {
-      std::printf("FAILED: %s\n", r.error.c_str());
-      return 1;
-    }
+    gate.check(r.success, "set " + std::to_string(ours.size() + 1) + " schedules" +
+                              (r.success ? std::string() : ": " + r.error));
+    if (!r.success) return gate.finish("Table 3 (scheduling failed)");
     ours.push_back(r.cycles);
+    const std::string cell = "cell set" + std::to_string(ours.size());
+    // Per-cell hard assertions: pinned to the reconstruction's value, and
+    // never further than 1 cycle from the paper's.
+    gate.check_eq(static_cast<long long>(c.reproduced_cycles),
+                  static_cast<long long>(r.cycles), cell + " (pinned reproduction)");
+    const long long deviation = static_cast<long long>(r.cycles) -
+                                static_cast<long long>(c.paper_cycles);
+    gate.check(deviation >= -1 && deviation <= 1,
+               cell + " within 1 cycle of the paper (paper=" +
+                   std::to_string(c.paper_cycles) + " ours=" + std::to_string(r.cycles) +
+                   ")");
     t.add(set.to_string(dfg), c.paper_cycles, r.cycles,
           bench::match(static_cast<long long>(c.paper_cycles),
                        static_cast<long long>(r.cycles)));
@@ -45,6 +61,10 @@ int main() {
   std::fputs(t.to_string().c_str(), stdout);
 
   const bool shape = ours[2] <= ours[0] && ours[0] <= ours[1];
+  gate.check(shape, "ordering set3 <= set1 <= set2 mirrors the paper's 7 <= 8 <= 9");
+  gate.check(*std::max_element(ours.begin(), ours.end()) >
+                 *std::min_element(ours.begin(), ours.end()),
+             "pattern choice spreads the cycle count (paper's conclusion)");
   std::printf(
       "\nShape check (set3 <= set1 <= set2, mirroring the paper's 7 <= 8 <= 9): %s\n",
       shape ? "holds" : "VIOLATED");
@@ -52,5 +72,5 @@ int main() {
               "%zu..%zu cycles\n",
               *std::min_element(ours.begin(), ours.end()),
               *std::max_element(ours.begin(), ours.end()));
-  return shape ? 0 : 1;
+  return gate.finish("Table 3 (3 cells pinned, deviation <= 1 cycle, shape holds)");
 }

@@ -32,8 +32,11 @@ int main() {
       {"bb", "{b4,b5}", 1},
   };
 
+  // Every cell is pinned: the Fig. 4 example is published in full, so the
+  // pattern list, each antichain membership list, and each count must
+  // reproduce exactly.
+  bench::Gate gate;
   TextTable t({"pattern", "antichains (ours)", "count paper/ours", "match"});
-  int mismatches = 0;
   for (const Row& row : paper) {
     std::string rendered = "-";
     std::uint64_t measured = 0;
@@ -51,16 +54,18 @@ int main() {
         rendered += '}';
       }
     }
+    const std::string cell = std::string("pattern '") + row.pattern + "'";
+    gate.check_eq(static_cast<long long>(row.count), static_cast<long long>(measured),
+                  cell + " antichain count");
+    gate.check(rendered == row.antichains, cell + " members: paper=" + row.antichains +
+                                               " ours=" + rendered);
     const bool ok = measured == row.count && rendered == row.antichains;
-    if (!ok) ++mismatches;
     t.add(row.pattern, rendered, std::to_string(row.count) + "/" + std::to_string(measured),
           ok ? "exact" : "DIFFERS");
   }
   std::fputs(t.to_string().c_str(), stdout);
+  gate.check_eq(4, static_cast<long long>(analysis.per_pattern.size()),
+                "distinct patterns found");
   std::printf("\nDistinct patterns found: %zu (paper: 4)\n", analysis.per_pattern.size());
-  std::printf("Result: %s\n",
-              mismatches == 0 && analysis.per_pattern.size() == 4
-                  ? "Table 4 reproduced exactly"
-                  : "MISMATCH — see rows above");
-  return mismatches == 0 ? 0 : 1;
+  return gate.finish("Table 4 (4 rows x 2 cells + pattern count pinned exact)");
 }

@@ -262,6 +262,45 @@ AntichainAnalysis merge_antichain_analyses(std::vector<AntichainAnalysis> parts,
   return out;
 }
 
+std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
+                                 const Reachability& reach,
+                                 const EnumerateOptions& options, NodeId root) {
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
+  MPSCHED_REQUIRE(root < dfg.node_count(), "root out of range");
+  if (options.max_size <= 1) return 1;
+
+  SpanTracker tracker;
+  tracker = tracker.with(root, levels);
+  const DynamicBitset& compat = reach.parallel_mask(root);
+  std::uint64_t width = 0;
+  const std::size_t n = dfg.node_count();
+  for (std::size_t j = compat.find_next(root + 1); j < n; j = compat.find_next(j + 1))
+    if (tracker.span_with(static_cast<NodeId>(j), levels) <= effective_limit) ++width;
+
+  // Σ_{k=0}^{max_size-1} C(w, k) ≈ Σ w^k/k! — the subtree size if the
+  // whole first level stayed mutually compatible; an upper-bound-shaped
+  // estimate whose steep decay in w is what separates heavy roots from
+  // light ones. Accumulated in double (exact well past any realistic
+  // width) and saturated so a pathological graph cannot overflow.
+  double cost = 0.0, term = 1.0;
+  for (std::size_t k = 0; k < options.max_size; ++k) {
+    cost += term;
+    term = term * static_cast<double>(width >= k ? width - k : 0) /
+           static_cast<double>(k + 1);
+  }
+  constexpr double kSaturate = 1e18;
+  return static_cast<std::uint64_t>(cost < kSaturate ? cost : kSaturate);
+}
+
+std::vector<std::uint64_t> estimate_root_costs(const Dfg& dfg, const Levels& levels,
+                                               const Reachability& reach,
+                                               const EnumerateOptions& options) {
+  std::vector<std::uint64_t> costs(dfg.node_count());
+  for (NodeId r = 0; r < dfg.node_count(); ++r)
+    costs[r] = estimate_root_cost(dfg, levels, reach, options, r);
+  return costs;
+}
+
 AntichainAnalysis enumerate_antichains(const Dfg& dfg, const EnumerateOptions& options) {
   const Levels levels = compute_levels(dfg);
   const Reachability reach(dfg);

@@ -119,4 +119,25 @@ AntichainAnalysis enumerate_antichain_roots(const Dfg& dfg, const Levels& levels
 AntichainAnalysis merge_antichain_analyses(std::vector<AntichainAnalysis> parts,
                                            std::size_t node_count);
 
+/// Cheap cost estimate for the search subtree rooted at `root` (the
+/// antichains whose minimum node id is `root`), for cost-aware shard
+/// packing. The heuristic is the subtree's first level after span pruning:
+/// with w = |{ j > root : parallelizable(root, j) ∧ Span({root, j}) ≤
+/// limit }| — the subtree's branching width, which the level structure
+/// caps through the span limit — the estimate is Σ_{k=0}^{max_size-1}
+/// C(w, k): the subtree size if the whole first level stayed mutually
+/// compatible, i.e. an upper-bound-shaped count whose steep growth in w
+/// separates heavy roots from light ones (saturated at 1e18). O(n) bit
+/// probes per root; only relative magnitudes matter (the packer balances
+/// estimated totals), and the estimate never influences results — any
+/// root partition merges to bit-identical output.
+std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
+                                 const Reachability& reach,
+                                 const EnumerateOptions& options, NodeId root);
+
+/// All roots at once, indexed by NodeId.
+std::vector<std::uint64_t> estimate_root_costs(const Dfg& dfg, const Levels& levels,
+                                               const Reachability& reach,
+                                               const EnumerateOptions& options);
+
 }  // namespace mpsched

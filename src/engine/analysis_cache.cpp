@@ -2,34 +2,16 @@
 
 #include <cstdio>
 
+#include "engine/cache_store.hpp"
+#include "util/fnv.hpp"
+
 
 namespace mpsched::engine {
 
 namespace {
 
-// Two independent FNV-1a streams over the same bytes: the classic 64-bit
-// offset/prime pair plus a second stream with a different seed, giving a
-// 128-bit content address.
-struct Fnv2 {
-  std::uint64_t lo = 0xcbf29ce484222325ULL;
-  std::uint64_t hi = 0x6c62272e07bb0142ULL;
-
-  void feed(const void* data, std::size_t n) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (std::size_t i = 0; i < n; ++i) {
-      lo = (lo ^ bytes[i]) * 0x00000100000001b3ULL;
-      hi = (hi ^ bytes[i]) * 0x000001000000018dULL;
-    }
-  }
-
-  void feed(std::string_view s) { feed(s.data(), s.size()); }
-
-  void feed_u64(std::uint64_t v) {
-    unsigned char bytes[8];
-    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
-    feed(bytes, sizeof bytes);
-  }
-
+/// util/fnv.hpp's 128-bit FNV-1a, with a CacheKey view of the state.
+struct Fnv2 : Fnv128 {
   CacheKey key() const { return CacheKey{lo, hi}; }
 };
 
@@ -130,20 +112,51 @@ std::shared_ptr<const PreparedGraph> AnalysisCache::prepare_graph(const Dfg& dfg
 }
 
 std::shared_ptr<const AntichainAnalysis> AnalysisCache::find_analysis(const CacheKey& key) {
-  std::lock_guard lock(mutex_);
-  const auto it = analyses_.find(key);
-  if (it == analyses_.end()) {
-    ++stats_.analysis_misses;
-    return nullptr;
+  std::shared_ptr<CacheStore> store;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = analyses_.find(key);
+    if (it != analyses_.end()) {
+      ++stats_.analysis_hits;
+      return it->second;
+    }
+    store = store_;
   }
-  ++stats_.analysis_hits;
-  return it->second;
+  // Memory miss: fall through to the disk tier outside the lock (file IO
+  // must not serialize concurrent memory hits). A racing duplicate load is
+  // harmless — identical content, last writer wins.
+  if (store != nullptr) {
+    if (auto loaded = store->load(key)) {
+      std::lock_guard lock(mutex_);
+      ++stats_.analysis_hits;
+      analyses_[key] = loaded;
+      return loaded;
+    }
+  }
+  std::lock_guard lock(mutex_);
+  ++stats_.analysis_misses;
+  return nullptr;
 }
 
 void AnalysisCache::store_analysis(const CacheKey& key,
                                    std::shared_ptr<const AntichainAnalysis> value) {
+  std::shared_ptr<CacheStore> store;
+  {
+    std::lock_guard lock(mutex_);
+    analyses_[key] = value;
+    store = store_;
+  }
+  if (store != nullptr) store->store(key, *value);
+}
+
+void AnalysisCache::attach_store(std::shared_ptr<CacheStore> store) {
   std::lock_guard lock(mutex_);
-  analyses_[key] = std::move(value);
+  store_ = std::move(store);
+}
+
+CacheStore* AnalysisCache::disk_store() const {
+  std::lock_guard lock(mutex_);
+  return store_.get();
 }
 
 CacheStats AnalysisCache::stats() const {

@@ -18,6 +18,12 @@
 // (two independent FNV-1a streams over length-delimited fields) so
 // accidental collision is out of the question at any realistic corpus size.
 //
+// A CacheStore (engine/cache_store.hpp) can be attached as a second tier:
+// analysis lookups that miss in memory fall through to the cache
+// directory, and stores write through to it, so analyses persist across
+// processes. Disk-served lookups are published into the memory tier and
+// count as analysis hits (the disk tier keeps its own counters).
+//
 // Thread safety: all methods are safe to call concurrently; values are
 // immutable once published (shared_ptr<const T>).
 #pragma once
@@ -36,6 +42,8 @@
 #include "graph/levels.hpp"
 
 namespace mpsched::engine {
+
+class CacheStore;
 
 /// 128-bit content hash.
 struct CacheKey {
@@ -94,17 +102,26 @@ class AnalysisCache {
                                                      const CacheKey& key);
 
   /// Pure lookups — the engine orchestrates the (sharded) computation
-  /// itself on a miss, then publishes with store_analysis().
+  /// itself on a miss, then publishes with store_analysis(). With a store
+  /// attached, a memory miss falls through to disk before reporting one.
   std::shared_ptr<const AntichainAnalysis> find_analysis(const CacheKey& key);
   void store_analysis(const CacheKey& key, std::shared_ptr<const AntichainAnalysis> value);
 
+  /// Attaches (or detaches, with nullptr) the disk tier. Replacing an
+  /// attached store is allowed; in-memory entries are kept either way.
+  void attach_store(std::shared_ptr<CacheStore> store);
+  /// The attached disk tier; nullptr when the cache is memory-only.
+  CacheStore* disk_store() const;
+
   CacheStats stats() const;
-  /// Number of cached analyses (not graphs).
+  /// Number of cached analyses (not graphs) held in memory.
   std::size_t analysis_count() const;
+  /// Drops the in-memory tiers; the attached store (if any) is untouched.
   void clear();
 
  private:
   mutable std::mutex mutex_;
+  std::shared_ptr<CacheStore> store_;
   std::unordered_map<CacheKey, std::shared_ptr<const PreparedGraph>, CacheKeyHash> graphs_;
   std::unordered_map<CacheKey, std::shared_ptr<const AntichainAnalysis>, CacheKeyHash>
       analyses_;

@@ -1,0 +1,107 @@
+#include "engine/cache_store.hpp"
+
+#include <filesystem>
+#include <system_error>
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
+
+#include "engine/analysis_cache.hpp"
+#include "io/analysis_io.hpp"
+
+namespace mpsched::engine {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+long current_pid() {
+#ifdef _WIN32
+  return _getpid();
+#else
+  return static_cast<long>(::getpid());
+#endif
+}
+
+}  // namespace
+
+CacheStore::CacheStore(std::string directory) : dir_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec || !fs::is_directory(dir_))
+    throw std::runtime_error("cache store: cannot use directory '" + dir_ +
+                             "': " + (ec ? ec.message() : "not a directory"));
+}
+
+std::string CacheStore::entry_filename(const CacheKey& key) {
+  return key.to_string() + ".mpa";
+}
+
+std::shared_ptr<const AntichainAnalysis> CacheStore::load(const CacheKey& key) {
+  const fs::path path = fs::path(dir_) / entry_filename(key);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) {
+    std::lock_guard lock(mutex_);
+    ++stats_.disk_misses;
+    return nullptr;
+  }
+  std::string error;
+  std::optional<AntichainAnalysis> loaded = load_analysis(path.string(), &error);
+  std::lock_guard lock(mutex_);
+  if (!loaded) {
+    // Present but invalid: torn write from a crashed copy, bit rot, or a
+    // format bump. A miss either way; the recompute's store() overwrites.
+    ++stats_.disk_corrupt;
+    ++stats_.disk_misses;
+    return nullptr;
+  }
+  ++stats_.disk_hits;
+  return std::make_shared<AntichainAnalysis>(std::move(*loaded));
+}
+
+void CacheStore::store(const CacheKey& key, const AntichainAnalysis& analysis) {
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(mutex_);
+    ++stats_.disk_stores;
+    seq = ++temp_seq_;
+  }
+  // Unique temp name per (process, store, write): concurrent writers —
+  // threads or whole processes — never collide on the temp file, and the
+  // rename is atomic within one directory, so readers see only absent or
+  // complete entries.
+  const fs::path dir(dir_);
+  const fs::path tmp = dir / ("tmp-" + std::to_string(current_pid()) + "-" +
+                              std::to_string(seq) + "-" + key.to_string() + ".mpa");
+  const fs::path final_path = dir / entry_filename(key);
+  try {
+    save_analysis(analysis, tmp.string());
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    if (ec) fs::remove(tmp, ec);
+  } catch (const std::exception&) {
+    // Disk full / permissions: drop the entry, keep the batch running.
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+}
+
+std::size_t CacheStore::entry_count() const {
+  std::size_t n = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() == 36 && name.ends_with(".mpa") && !name.starts_with("tmp-")) ++n;
+  }
+  return n;
+}
+
+CacheStoreStats CacheStore::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mpsched::engine

@@ -1,0 +1,86 @@
+// Disk-backed tier of the analysis cache: analyses persist across
+// processes in a shared cache directory (ROADMAP's cross-process cache
+// persistence item).
+//
+// Layout: one file per analysis, named by the 128-bit content key —
+//
+//   <dir>/<32-hex-digit key>.mpa          committed entries
+//   <dir>/tmp-<pid>-<seq>-<key>.mpa       in-flight writes
+//
+// Because the key already covers the canonical graph structure (including
+// the per-node color-name sequence, which pins ColorId interning) plus the
+// generation options, an entry written by any process is sound for any
+// other process that derives the same key — the exact argument that makes
+// the in-memory tier content-addressed, carried across the process
+// boundary by io/analysis_io's bit-exact round-trip.
+//
+// Concurrency: writes go to a uniquely-named temp file in the same
+// directory and are published with an atomic rename, so concurrent
+// mpsched_batch processes can share one directory safely — readers only
+// ever see absent or complete entries, and racing writers of the same key
+// overwrite each other with identical bytes. Corrupt, truncated or
+// version-mismatched entries (torn disks, interrupted copies, format
+// upgrades) are detected by analysis_io's envelope and degrade to misses;
+// the next store() simply overwrites them. There is no eviction: entries
+// are immutable and content-addressed, so a cache directory is trimmed by
+// deleting files (or the whole directory) at any time, even mid-run.
+//
+// Thread safety: all methods are safe to call concurrently.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "antichain/enumerate.hpp"
+
+namespace mpsched::engine {
+
+struct CacheKey;
+
+/// Monotone counters for the disk tier (snapshot via stats()).
+struct CacheStoreStats {
+  std::uint64_t disk_hits = 0;
+  std::uint64_t disk_misses = 0;
+  /// Entries that existed but failed validation (counted on top of the
+  /// miss they degrade to).
+  std::uint64_t disk_corrupt = 0;
+  std::uint64_t disk_stores = 0;
+};
+
+class CacheStore {
+ public:
+  /// Binds the store to `directory`, creating it (and parents) if absent.
+  /// Throws std::runtime_error when the path exists but is not a
+  /// directory, or cannot be created.
+  explicit CacheStore(std::string directory);
+
+  const std::string& directory() const noexcept { return dir_; }
+
+  /// Reads the entry for `key`; nullptr when absent or invalid (absent and
+  /// corrupt both count as misses — the caller recomputes either way).
+  std::shared_ptr<const AntichainAnalysis> load(const CacheKey& key);
+
+  /// Publishes the entry for `key` (write temp + atomic rename).
+  /// IO failures are swallowed after updating no counters beyond
+  /// disk_stores — the disk tier is an accelerator, never a correctness
+  /// dependency, so a full disk must not fail the batch.
+  void store(const CacheKey& key, const AntichainAnalysis& analysis);
+
+  /// Number of committed entries currently in the directory.
+  std::size_t entry_count() const;
+
+  CacheStoreStats stats() const;
+
+  /// "<32 hex digits>.mpa" — exposed so tests and tools can locate entries.
+  static std::string entry_filename(const CacheKey& key);
+
+ private:
+  std::string dir_;
+  mutable std::mutex mutex_;
+  CacheStoreStats stats_;
+  std::uint64_t temp_seq_ = 0;
+};
+
+}  // namespace mpsched::engine

@@ -1,10 +1,13 @@
 #include "engine/engine.hpp"
 
 #include <algorithm>
+#include <numeric>
+#include <queue>
 #include <unordered_map>
 
 #include "antichain/analytic.hpp"
 #include "antichain/enumerate.hpp"
+#include "engine/cache_store.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -53,6 +56,41 @@ std::vector<std::vector<NodeId>> partition_roots(std::size_t node_count,
 
 }  // namespace
 
+/// Greedy LPT — roots in descending estimated cost, each onto the
+/// currently lightest shard. A root heavier than the average naturally
+/// ends up alone in its shard; light roots coalesce around it.
+/// Deterministic: ties break on lower root id, then lower shard index, so
+/// the plan is a pure function of the cost vector.
+std::vector<std::vector<NodeId>> pack_roots_by_cost(
+    const std::vector<std::uint64_t>& costs, std::size_t target_shards) {
+  const std::size_t node_count = costs.size();
+  const std::size_t shards =
+      std::clamp<std::size_t>(target_shards, 1, std::max<std::size_t>(node_count, 1));
+
+  std::vector<NodeId> order(node_count);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](NodeId a, NodeId b) { return costs[a] > costs[b]; });
+
+  std::vector<std::vector<NodeId>> roots(shards);
+  // Min-heap of (load, shard index): pop = lightest shard, lowest index on
+  // ties (std::greater on the pair compares load first, then index).
+  using Slot = std::pair<std::uint64_t, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> heap;
+  for (std::size_t s = 0; s < shards; ++s) heap.push({0, s});
+  for (const NodeId r : order) {
+    auto [load, shard] = heap.top();
+    heap.pop();
+    roots[shard].push_back(r);
+    heap.push({load + costs[r], shard});
+  }
+  // Ascending roots within a shard: enumeration order inside a shard does
+  // not affect the merged result, but keeping it sorted makes shard
+  // contents canonical for a given plan.
+  for (auto& shard : roots) std::sort(shard.begin(), shard.end());
+  return roots;
+}
+
 std::size_t BatchResult::succeeded() const {
   std::size_t n = 0;
   for (const JobResult& r : jobs)
@@ -60,9 +98,20 @@ std::size_t BatchResult::succeeded() const {
   return n;
 }
 
-Engine::Engine(EngineOptions options) : options_(options) {
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {
+  // An engine that silently ran without its requested persistence would
+  // defeat the point of asking for it, so bad cache_dir configurations
+  // throw (like any bad option): a directory that cannot be used, or a
+  // directory combined with use_cache=false — with the cache off nothing
+  // would ever read or write the store.
+  if (!options_.cache_dir.empty() && !options_.use_cache)
+    throw std::invalid_argument(
+        "EngineOptions: cache_dir requires use_cache (a disk tier on a disabled "
+        "cache would never be read or written)");
   if (options_.threads > 0) owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   if (options_.cache == nullptr) owned_cache_ = std::make_unique<AnalysisCache>();
+  if (!options_.cache_dir.empty())
+    cache().attach_store(std::make_shared<CacheStore>(options_.cache_dir));
 }
 
 Engine::~Engine() = default;
@@ -210,8 +259,24 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
     AnalysisUnit& unit = units[u];
     const Job& job = jobs[unit.exemplar_job];
     if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
-      unit.shard_roots = partition_roots(job.dfg.node_count(),
-                                         worker_count * options_.shards_per_thread);
+      const std::size_t target_shards = worker_count * options_.shards_per_thread;
+      bool adaptive = options_.shard_policy == ShardPolicy::Adaptive;
+      if (adaptive) {
+        // Cost estimation validates the same options the enumeration will;
+        // on bad options (e.g. capacity 0) fall back to a uniform plan and
+        // let the shard task surface the real error as this job's failure.
+        try {
+          const PreparedGraph& graph = *prepared[unit.exemplar_job];
+          unit.shard_roots = pack_roots_by_cost(
+              estimate_root_costs(job.dfg, graph.levels, graph.reach,
+                                  enumerate_options_for(job.select)),
+              target_shards);
+        } catch (const std::exception&) {
+          adaptive = false;
+        }
+      }
+      if (!adaptive)
+        unit.shard_roots = partition_roots(job.dfg.node_count(), target_shards);
     } else {
       unit.shard_roots.resize(1);  // closed-form counting: one cheap task
     }
@@ -244,12 +309,18 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
     unit.shard_ms[s] = timer.millis();
   });
 
-  for (AnalysisUnit& unit : units) {
+  // Merge + publish per unit, in parallel: merging is per-unit CPU work,
+  // and with a disk tier attached store_analysis writes a file — neither
+  // belongs on one thread while the pool idles after the shard phase.
+  // (Publication order across units is irrelevant: keys are distinct, and
+  // consumers read unit.result, not the cache, below.)
+  workers.parallel_for(units.size(), [&](std::size_t u) {
+    AnalysisUnit& unit = units[u];
     for (std::size_t s = 0; s < unit.shard_errors.size(); ++s)
       if (unit.error.empty() && !unit.shard_errors[s].empty())
         unit.error = "analysis: " + unit.shard_errors[s];
     for (const double ms : unit.shard_ms) unit.total_ms += ms;
-    if (!unit.error.empty()) continue;
+    if (!unit.error.empty()) return;
     const Job& job = jobs[unit.exemplar_job];
     unit.result = std::make_shared<AntichainAnalysis>(
         unit.shard_results.size() == 1
@@ -257,7 +328,7 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
             : merge_antichain_analyses(std::move(unit.shard_results),
                                        job.dfg.node_count()));
     if (options_.use_cache) store.store_analysis(unit.key, unit.result);
-  }
+  });
 
   for (const AnalysisUnit& unit : units) {
     for (const std::size_t i : unit.consumers) {

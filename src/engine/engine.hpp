@@ -12,7 +12,10 @@
 //      ~shards_per_thread × workers chunks, and ALL chunks of ALL jobs go
 //      into one dynamically-balanced parallel_for — work steals across
 //      jobs *and* within a job, so one huge DFG no longer serializes the
-//      tail of the batch the way per-graph fan-out does.
+//      tail of the batch the way per-graph fan-out does. Shards are sized
+//      by estimated root cost by default (estimate_root_cost + greedy LPT
+//      packing): heavy roots get their own shards, light roots coalesce,
+//      so a single skewed graph balances instead of leaving the pool idle.
 //   3. Solve. Selection, scheduling and optional refinement run per job in
 //      a second parallel_for (they are orders of magnitude cheaper than
 //      enumeration and strictly sequential per job).
@@ -22,6 +25,7 @@
 // are bit-identical for any thread count and any cache state.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -34,6 +38,16 @@ class ThreadPool;
 
 namespace mpsched::engine {
 
+/// How enumeration roots are grouped into shards. Either policy produces
+/// byte-identical results (shard merging is grouping-insensitive); they
+/// differ only in load balance.
+enum class ShardPolicy {
+  /// Cyclic uniform-by-root partition (the PR 2 behavior).
+  Uniform,
+  /// Cost-estimated: estimate_root_cost() per root, greedy LPT packing.
+  Adaptive,
+};
+
 struct EngineOptions {
   /// Worker threads for the engine's own pool; 0 = use ThreadPool::shared().
   std::size_t threads = 0;
@@ -43,9 +57,15 @@ struct EngineOptions {
   bool use_cache = true;
   /// Shared external cache; nullptr → the engine owns a private one.
   AnalysisCache* cache = nullptr;
+  /// Non-empty → attach a CacheStore on this directory to the cache in
+  /// use (owned or external), persisting analyses across processes.
+  /// Created if absent; safe to share between concurrent processes.
+  std::string cache_dir;
   /// Sharding granularity: target shards ≈ shards_per_thread × workers,
   /// clamped to the node count. Higher = better balance, more merge work.
   std::size_t shards_per_thread = 4;
+  /// How roots are packed into shards; results are identical either way.
+  ShardPolicy shard_policy = ShardPolicy::Adaptive;
 };
 
 struct BatchResult {
@@ -62,6 +82,15 @@ struct BatchResult {
 
   std::size_t succeeded() const;
 };
+
+/// The Adaptive-policy packer: greedy LPT over per-root cost estimates —
+/// roots in descending cost, each onto the currently lightest shard, at
+/// most `target_shards` shards (clamped to the root count). The result is
+/// always a partition of [0, costs.size()): every root in exactly one
+/// shard, each shard's roots ascending. Deterministic in `costs` alone.
+/// Exposed for tests and diagnostics; Engine calls it internally.
+std::vector<std::vector<NodeId>> pack_roots_by_cost(
+    const std::vector<std::uint64_t>& costs, std::size_t target_shards);
 
 class Engine {
  public:

@@ -1,0 +1,219 @@
+#include "io/analysis_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "util/fnv.hpp"
+
+namespace mpsched {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'P', 'S', 'A'};
+constexpr std::size_t kHeaderSize = 4 + 4 + 8 + 16;  // magic·version·size·checksum
+
+// The checksum is util/fnv.hpp's Fnv128 — the exact pair the cache keys
+// use: not cryptographic, but 128 bits make an accidental collision with
+// corrupted bytes negligible, and cross-platform determinism is what the
+// format actually needs.
+using Checksum = Fnv128;
+
+// -- writer ---------------------------------------------------------------
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out += static_cast<char>((v >> (8 * i)) & 0xff);
+}
+
+void put_u64_vector(std::string& out, const std::vector<std::uint64_t>& v) {
+  put_u64(out, v.size());
+  for (const std::uint64_t x : v) put_u64(out, x);
+}
+
+// -- reader ---------------------------------------------------------------
+
+/// Bounds-checked cursor. Every read either succeeds or flips `ok` and
+/// returns a zero value; callers check ok once per structural level, so a
+/// truncated stream can never walk past the end or allocate absurdly.
+struct Reader {
+  std::string_view bytes;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  std::size_t remaining() const { return ok ? bytes.size() - pos : 0; }
+
+  std::uint32_t u32() {
+    if (!ok || bytes.size() - pos < 4) {
+      ok = false;
+      return 0;
+    }
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    if (!ok || bytes.size() - pos < 8) {
+      ok = false;
+      return 0;
+    }
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[pos + i])) << (8 * i);
+    pos += 8;
+    return v;
+  }
+
+  /// Element count guarded by what the stream could possibly still hold
+  /// (`min_elem_bytes` each), so a corrupted length cannot trigger a
+  /// multi-gigabyte allocation before the truncation is even noticed.
+  std::size_t count(std::size_t min_elem_bytes) {
+    const std::uint64_t n = u64();
+    if (!ok) return 0;
+    if (min_elem_bytes > 0 && n > remaining() / min_elem_bytes) {
+      ok = false;
+      return 0;
+    }
+    return static_cast<std::size_t>(n);
+  }
+
+  std::vector<std::uint64_t> u64_vector() {
+    const std::size_t n = count(8);
+    std::vector<std::uint64_t> v(ok ? n : 0);
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = u64();
+    return v;
+  }
+};
+
+std::optional<AntichainAnalysis> fail(std::string* error, const char* why) {
+  if (error != nullptr) *error = why;
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::string analysis_to_bytes(const AntichainAnalysis& analysis) {
+  std::string payload;
+  put_u64(payload, analysis.total);
+
+  put_u64(payload, analysis.count_by_size_span.size());
+  for (const auto& row : analysis.count_by_size_span) put_u64_vector(payload, row);
+
+  put_u64(payload, analysis.per_pattern.size());
+  for (const PatternAntichains& pa : analysis.per_pattern) {
+    put_u64(payload, pa.pattern.colors().size());
+    for (const ColorId c : pa.pattern.colors()) put_u32(payload, c);
+    put_u64(payload, pa.antichain_count);
+    put_u64_vector(payload, pa.node_frequency);
+    put_u64(payload, pa.members.size());
+    for (const auto& member : pa.members) {
+      put_u64(payload, member.size());
+      for (const NodeId n : member) put_u32(payload, n);
+    }
+  }
+
+  Checksum sum;
+  sum.feed(payload.data(), payload.size());
+
+  std::string out;
+  out.reserve(kHeaderSize + payload.size());
+  out.append(kMagic, sizeof kMagic);
+  put_u32(out, kAnalysisFormatVersion);
+  put_u64(out, payload.size());
+  put_u64(out, sum.lo);
+  put_u64(out, sum.hi);
+  out += payload;
+  return out;
+}
+
+std::optional<AntichainAnalysis> analysis_from_bytes(std::string_view bytes,
+                                                     std::string* error) {
+  if (bytes.size() < kHeaderSize) return fail(error, "truncated header");
+  if (std::memcmp(bytes.data(), kMagic, sizeof kMagic) != 0)
+    return fail(error, "bad magic");
+
+  Reader header{bytes.substr(sizeof kMagic)};
+  const std::uint32_t version = header.u32();
+  const std::uint64_t payload_size = header.u64();
+  const std::uint64_t sum_lo = header.u64();
+  const std::uint64_t sum_hi = header.u64();
+  if (version != kAnalysisFormatVersion) return fail(error, "version mismatch");
+  if (payload_size != bytes.size() - kHeaderSize)
+    return fail(error, "payload size mismatch");
+
+  const std::string_view payload = bytes.substr(kHeaderSize);
+  Checksum sum;
+  sum.feed(payload.data(), payload.size());
+  if (sum.lo != sum_lo || sum.hi != sum_hi) return fail(error, "checksum mismatch");
+
+  Reader r{payload};
+  AntichainAnalysis out;
+  out.total = r.u64();
+
+  const std::size_t rows = r.count(8);
+  out.count_by_size_span.resize(r.ok ? rows : 0);
+  for (auto& row : out.count_by_size_span) row = r.u64_vector();
+
+  const std::size_t patterns = r.count(8 * 3);  // colors·count·freq lengths at least
+  if (r.ok) out.per_pattern.reserve(patterns);
+  for (std::size_t p = 0; r.ok && p < patterns; ++p) {
+    PatternAntichains pa;
+    const std::size_t colors = r.count(4);
+    std::vector<ColorId> color_ids(r.ok ? colors : 0);
+    for (auto& c : color_ids) {
+      const std::uint32_t v = r.u32();
+      if (v > std::numeric_limits<ColorId>::max()) r.ok = false;
+      c = static_cast<ColorId>(v);
+    }
+    pa.pattern = Pattern(std::move(color_ids));
+    pa.antichain_count = r.u64();
+    pa.node_frequency = r.u64_vector();
+    const std::size_t members = r.count(8);
+    if (r.ok) pa.members.reserve(members);
+    for (std::size_t m = 0; r.ok && m < members; ++m) {
+      const std::size_t nodes = r.count(4);
+      std::vector<NodeId> member(r.ok ? nodes : 0);
+      for (auto& n : member) n = r.u32();
+      pa.members.push_back(std::move(member));
+    }
+    out.per_pattern.push_back(std::move(pa));
+  }
+
+  if (!r.ok) return fail(error, "structurally invalid payload");
+  if (r.pos != payload.size()) return fail(error, "trailing bytes after payload");
+  return out;
+}
+
+void save_analysis(const AntichainAnalysis& analysis, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.good()) throw std::runtime_error("cannot open '" + path + "' for writing");
+  const std::string bytes = analysis_to_bytes(analysis);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  out.flush();
+  if (!out.good()) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+std::optional<AntichainAnalysis> load_analysis(const std::string& path,
+                                               std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    if (error != nullptr) *error = "cannot open '" + path + "'";
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) {
+    if (error != nullptr) *error = "read from '" + path + "' failed";
+    return std::nullopt;
+  }
+  return analysis_from_bytes(buffer.view(), error);
+}
+
+}  // namespace mpsched

@@ -1,0 +1,53 @@
+// Binary (de)serialization of AntichainAnalysis — the payload format of
+// the disk cache tier (engine/cache_store.hpp).
+//
+// An analysis is pure integer data (counts, frequency vectors, canonical
+// ColorId multisets), so the format is a flat little-endian dump behind a
+// self-validating envelope:
+//
+//   magic "MPSA" · u32 version · u64 payload size · u128 payload checksum
+//   payload: total, count_by_size_span, per_pattern records
+//
+// Round-trip guarantee: deserialize(serialize(a)) is bit-identical to `a`
+// for every field — the disk tier inherits the in-memory cache's
+// "bit-identical hits" contract through this property alone.
+//
+// Robustness guarantee: analysis_from_bytes never throws and never reads
+// out of bounds. Truncation, bit flips, junk bytes, wrong magic and
+// version mismatches all surface as std::nullopt (with a diagnostic via
+// the optional out-parameter) — a corrupt cache entry must degrade to a
+// cache miss, not take the process down. The checksum (the same FNV-1a
+// 128-bit pair as the cache keys) makes silent payload corruption
+// detectable; structural bounds checks make even a forged checksum safe.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "antichain/enumerate.hpp"
+
+namespace mpsched {
+
+/// Bumped whenever the payload layout changes; older or newer entries are
+/// rejected as version mismatches (= cache misses), never reinterpreted.
+inline constexpr std::uint32_t kAnalysisFormatVersion = 1;
+
+/// Serializes an analysis into the envelope + payload byte string.
+std::string analysis_to_bytes(const AntichainAnalysis& analysis);
+
+/// Parses bytes produced by analysis_to_bytes. Returns std::nullopt on any
+/// defect — short/truncated input, bad magic, version mismatch, checksum
+/// mismatch, or structurally impossible payload — and describes the defect
+/// in *error when given. Never throws.
+std::optional<AntichainAnalysis> analysis_from_bytes(std::string_view bytes,
+                                                     std::string* error = nullptr);
+
+/// File wrappers. save_analysis throws std::runtime_error on IO failure
+/// (the caller owns atomicity — see CacheStore); load_analysis mirrors
+/// analysis_from_bytes: any unreadable or invalid file is std::nullopt.
+void save_analysis(const AntichainAnalysis& analysis, const std::string& path);
+std::optional<AntichainAnalysis> load_analysis(const std::string& path,
+                                               std::string* error = nullptr);
+
+}  // namespace mpsched

@@ -1,0 +1,40 @@
+// 128-bit FNV-1a: two independent 64-bit streams (the classic
+// offset/prime pair plus a second stream with different constants) over
+// the same bytes. Not cryptographic — used where accidental collision
+// must be negligible and cross-platform determinism is required: the
+// engine's content-addressed cache keys (engine/analysis_cache) and the
+// disk envelope checksum (io/analysis_io). Both layers MUST share this
+// one definition: disk entries are located by the key and validated by
+// the checksum, so a constant tweaked in only one copy would silently
+// split the two.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mpsched {
+
+struct Fnv128 {
+  std::uint64_t lo = 0xcbf29ce484222325ULL;
+  std::uint64_t hi = 0x6c62272e07bb0142ULL;
+
+  void feed(const void* data, std::size_t n) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      lo = (lo ^ bytes[i]) * 0x00000100000001b3ULL;
+      hi = (hi ^ bytes[i]) * 0x000001000000018dULL;
+    }
+  }
+
+  void feed(std::string_view s) { feed(s.data(), s.size()); }
+
+  /// Little-endian, so streams hash identically on any platform.
+  void feed_u64(std::uint64_t v) {
+    unsigned char bytes[8];
+    for (int i = 0; i < 8; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+    feed(bytes, sizeof bytes);
+  }
+};
+
+}  // namespace mpsched

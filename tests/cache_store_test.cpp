@@ -1,0 +1,282 @@
+// The disk cache tier (io/analysis_io + engine/cache_store): serialized
+// round-trips are bit-identical, corrupt/truncated/version-mismatched
+// entries degrade to misses (never crash), and a second engine on the
+// same cache directory — a stand-in for a second process — reproduces
+// byte-identical results with zero recomputed analyses.
+#include "engine/cache_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "antichain/analytic.hpp"
+#include "antichain/enumerate.hpp"
+#include "engine/engine.hpp"
+#include "io/analysis_io.hpp"
+#include "io/result_io.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "workloads/paper_graphs.hpp"
+
+namespace mpsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::AnalysisCache;
+using engine::CacheKey;
+using engine::CacheStore;
+using engine::Engine;
+using engine::EngineOptions;
+using engine::Job;
+using test::expect_analysis_identical;
+
+/// Fresh directory under the test's working directory (the build tree),
+/// removed on teardown.
+class CacheStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::path("cache_store_test.tmp") /
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  // Remove only this test's directory — gtest_discover_tests runs each
+  // case as its own ctest process, so sibling cases share the parent
+  // directory concurrently under `ctest -j`.
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+
+  fs::path dir_;
+};
+
+AntichainAnalysis analysis_of(const Dfg& dfg, bool collect_members = false) {
+  EnumerateOptions options;
+  options.max_size = 5;
+  options.span_limit = 1;
+  options.collect_members = collect_members;
+  options.parallel = false;
+  return enumerate_antichains(dfg, options);
+}
+
+std::vector<Job> seeded_jobs() {
+  std::vector<Job> jobs;
+  for (const std::uint64_t seed : {11u, 23u, 37u}) {
+    Job job;
+    job.name = "random_dag(" + std::to_string(seed) + ")";
+    job.dfg = test::random_dag(seed);
+    jobs.push_back(std::move(job));
+  }
+  jobs.push_back(Job::from_workload("paper_3dft"));
+  jobs.push_back(jobs.back());  // duplicate: dedup + disk must agree
+  return jobs;
+}
+
+TEST_F(CacheStoreTest, SerializedRoundTripIsBitIdentical) {
+  // Property over seeded random DAGs: analysis → bytes → analysis is
+  // bit-identical field by field, members included.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const AntichainAnalysis original = analysis_of(test::random_dag(seed));
+    const std::string bytes = analysis_to_bytes(original);
+    std::string error;
+    const auto restored = analysis_from_bytes(bytes, &error);
+    ASSERT_TRUE(restored.has_value()) << "seed " << seed << ": " << error;
+    expect_analysis_identical(original, *restored);
+  }
+
+  // Member lists and the analytic generator's output round-trip too.
+  const AntichainAnalysis with_members = analysis_of(workloads::small_example(), true);
+  ASSERT_FALSE(with_members.per_pattern.empty());
+  ASSERT_FALSE(with_members.per_pattern.front().members.empty());
+  const auto members_restored = analysis_from_bytes(analysis_to_bytes(with_members));
+  ASSERT_TRUE(members_restored.has_value());
+  expect_analysis_identical(with_members, *members_restored);
+
+  const Dfg dfg = workloads::paper_3dft();
+  const AntichainAnalysis analytic =
+      analytic_level_analysis(dfg, compute_levels(dfg), 5);
+  const auto analytic_restored = analysis_from_bytes(analysis_to_bytes(analytic));
+  ASSERT_TRUE(analytic_restored.has_value());
+  expect_analysis_identical(analytic, *analytic_restored);
+}
+
+TEST_F(CacheStoreTest, EveryTruncationIsARejectionNotACrash) {
+  const std::string bytes = analysis_to_bytes(analysis_of(test::random_dag(7)));
+  ASSERT_GT(bytes.size(), 32u);
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    std::string error;
+    EXPECT_EQ(analysis_from_bytes(std::string_view(bytes).substr(0, len), &error),
+              std::nullopt)
+        << "prefix of " << len << " bytes parsed";
+  }
+  // The untruncated document still parses (the loop above must not have
+  // been vacuously passing on a broken fixture).
+  EXPECT_TRUE(analysis_from_bytes(bytes).has_value());
+}
+
+TEST_F(CacheStoreTest, BitFlipsAndJunkAreRejected) {
+  const std::string bytes = analysis_to_bytes(analysis_of(test::random_dag(8)));
+  Rng rng(0xC0FFEE);
+
+  // Seeded single-bit flips across the whole envelope: header flips break
+  // magic/version/size, payload flips break the 128-bit checksum.
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string mutated = bytes;
+    const std::size_t byte = rng.below(mutated.size());
+    mutated[byte] = static_cast<char>(static_cast<unsigned char>(mutated[byte]) ^
+                                      (1u << rng.below(8)));
+    EXPECT_EQ(analysis_from_bytes(mutated), std::nullopt)
+        << "flip at byte " << byte << " parsed";
+  }
+
+  // Junk splices and appends.
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string mutated = bytes;
+    const std::size_t at = rng.below(mutated.size());
+    mutated.insert(at, 1 + rng.below(9), static_cast<char>(rng.below(256)));
+    EXPECT_EQ(analysis_from_bytes(mutated), std::nullopt);
+  }
+  EXPECT_EQ(analysis_from_bytes(bytes + "x"), std::nullopt);
+  EXPECT_EQ(analysis_from_bytes(std::string(1024, '\xff')), std::nullopt);
+  EXPECT_EQ(analysis_from_bytes(""), std::nullopt);
+}
+
+TEST_F(CacheStoreTest, VersionAndMagicMismatchesAreMisses) {
+  std::string bytes = analysis_to_bytes(analysis_of(workloads::small_example()));
+  std::string error;
+
+  std::string wrong_version = bytes;
+  wrong_version[4] = static_cast<char>(kAnalysisFormatVersion + 1);
+  EXPECT_EQ(analysis_from_bytes(wrong_version, &error), std::nullopt);
+  EXPECT_EQ(error, "version mismatch");
+
+  std::string wrong_magic = bytes;
+  wrong_magic[0] = 'X';
+  EXPECT_EQ(analysis_from_bytes(wrong_magic, &error), std::nullopt);
+  EXPECT_EQ(error, "bad magic");
+}
+
+TEST_F(CacheStoreTest, StoreRoundTripsAndCountsTiers) {
+  CacheStore store(dir());
+  const Dfg dfg = workloads::paper_3dft();
+  const CacheKey key = AnalysisCache::analysis_key(
+      dfg, PatternGeneration::SpanLimitedEnumeration, 5, 1);
+  EXPECT_EQ(store.load(key), nullptr);  // absent
+  EXPECT_EQ(store.stats().disk_misses, 1u);
+
+  const AntichainAnalysis analysis = analysis_of(dfg);
+  store.store(key, analysis);
+  EXPECT_EQ(store.entry_count(), 1u);
+  const auto loaded = store.load(key);
+  ASSERT_NE(loaded, nullptr);
+  expect_analysis_identical(analysis, *loaded);
+  EXPECT_EQ(store.stats().disk_hits, 1u);
+  EXPECT_EQ(store.stats().disk_corrupt, 0u);
+
+  // Re-storing the same key overwrites in place; still one entry.
+  store.store(key, analysis);
+  EXPECT_EQ(store.entry_count(), 1u);
+  // No temp files left behind.
+  for (const auto& entry : fs::directory_iterator(dir()))
+    EXPECT_FALSE(entry.path().filename().string().starts_with("tmp-"));
+}
+
+TEST_F(CacheStoreTest, CorruptEntriesDegradeToMissesAndAreOverwritten) {
+  CacheStore store(dir());
+  const Dfg dfg = workloads::small_example();
+  const CacheKey key = AnalysisCache::analysis_key(
+      dfg, PatternGeneration::SpanLimitedEnumeration, 5, 1);
+  const AntichainAnalysis analysis = analysis_of(dfg);
+  store.store(key, analysis);
+
+  const fs::path entry = fs::path(dir()) / CacheStore::entry_filename(key);
+  ASSERT_TRUE(fs::exists(entry));
+
+  // Truncate to half: a torn write.
+  const auto full_size = fs::file_size(entry);
+  fs::resize_file(entry, full_size / 2);
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().disk_corrupt, 1u);
+
+  // Overwrite with garbage.
+  std::ofstream(entry, std::ios::binary) << "not an analysis";
+  EXPECT_EQ(store.load(key), nullptr);
+  EXPECT_EQ(store.stats().disk_corrupt, 2u);
+
+  // The next store repairs the entry.
+  store.store(key, analysis);
+  const auto repaired = store.load(key);
+  ASSERT_NE(repaired, nullptr);
+  expect_analysis_identical(analysis, *repaired);
+}
+
+TEST_F(CacheStoreTest, SecondEngineOnSharedDirRecomputesNothing) {
+  const std::vector<Job> jobs = seeded_jobs();
+
+  EngineOptions options;
+  options.threads = 2;
+  options.cache_dir = dir();
+
+  // First process: cold disk, computes and populates.
+  Engine first(options);
+  const engine::BatchResult cold = first.run_batch(jobs);
+  EXPECT_EQ(cold.succeeded(), jobs.size());
+  EXPECT_GT(cold.analyses_computed, 0u);
+  const std::string reference = batch_to_json(cold).dump();
+
+  // Second process (fresh engine, empty memory tier): everything must come
+  // off the shared directory, byte-identically.
+  Engine second(options);
+  const engine::BatchResult warm = second.run_batch(jobs);
+  EXPECT_EQ(warm.succeeded(), jobs.size());
+  EXPECT_EQ(warm.analyses_computed, 0u);
+  EXPECT_EQ(warm.analyses_reused, jobs.size());
+  for (const engine::JobResult& r : warm.jobs) EXPECT_TRUE(r.analysis_cache_hit);
+  EXPECT_EQ(batch_to_json(warm).dump(), reference);
+
+  const engine::CacheStoreStats disk = second.cache().disk_store()->stats();
+  EXPECT_GT(disk.disk_hits, 0u);
+  EXPECT_EQ(disk.disk_corrupt, 0u);
+
+  // Third process over a vandalized directory: corrupt entries degrade to
+  // misses, get recomputed and overwritten, and results stay identical.
+  for (const auto& entry : fs::directory_iterator(dir()))
+    fs::resize_file(entry.path(), fs::file_size(entry.path()) / 3);
+  Engine third(options);
+  const engine::BatchResult repaired = third.run_batch(jobs);
+  EXPECT_EQ(repaired.succeeded(), jobs.size());
+  EXPECT_GT(repaired.analyses_computed, 0u);
+  EXPECT_EQ(batch_to_json(repaired).dump(), reference);
+  EXPECT_GT(third.cache().disk_store()->stats().disk_corrupt, 0u);
+
+  // And a fourth over the repaired directory is fully warm again.
+  Engine fourth(options);
+  const engine::BatchResult rewarmed = fourth.run_batch(jobs);
+  EXPECT_EQ(rewarmed.analyses_computed, 0u);
+  EXPECT_EQ(batch_to_json(rewarmed).dump(), reference);
+}
+
+TEST_F(CacheStoreTest, UnusableDirectoryIsAnError) {
+  const fs::path file = fs::path(dir()) / "a_file";
+  std::ofstream(file) << "occupied";
+  EXPECT_THROW(CacheStore{file.string()}, std::runtime_error);
+
+  EngineOptions options;
+  options.cache_dir = file.string();
+  EXPECT_THROW(Engine{std::move(options)}, std::runtime_error);
+}
+
+TEST_F(CacheStoreTest, CacheDirWithCacheDisabledIsAnError) {
+  // With use_cache off, nothing would ever read or write the store; an
+  // engine that silently dropped the requested persistence would defeat
+  // the point of asking for it.
+  EngineOptions options;
+  options.cache_dir = dir();
+  options.use_cache = false;
+  EXPECT_THROW(Engine{std::move(options)}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -1,14 +1,19 @@
 // The batch engine (src/engine): sharded enumeration equivalence, cache
-// bit-identity, cross-thread-count/cache-setting determinism, and the
-// corpus/results JSON round-trip — the contracts ISSUE 2 promises.
+// bit-identity, cross-thread-count/cache-setting/shard-policy determinism,
+// cost-estimated shard packing, and the corpus/results JSON round-trip —
+// the contracts ISSUEs 2 and 3 promise.
 #include "engine/engine.hpp"
 
 #include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
 
 #include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "core/select.hpp"
 #include "io/result_io.hpp"
+#include "test_util.hpp"
 #include "workloads/corpus.hpp"
 #include "workloads/paper_graphs.hpp"
 
@@ -20,19 +25,8 @@ using engine::CacheKey;
 using engine::Engine;
 using engine::EngineOptions;
 using engine::Job;
-
-/// Field-by-field bit-identity of two antichain analyses.
-void expect_analysis_identical(const AntichainAnalysis& a, const AntichainAnalysis& b) {
-  EXPECT_EQ(a.total, b.total);
-  EXPECT_EQ(a.count_by_size_span, b.count_by_size_span);
-  ASSERT_EQ(a.per_pattern.size(), b.per_pattern.size());
-  for (std::size_t i = 0; i < a.per_pattern.size(); ++i) {
-    EXPECT_EQ(a.per_pattern[i].pattern, b.per_pattern[i].pattern);
-    EXPECT_EQ(a.per_pattern[i].antichain_count, b.per_pattern[i].antichain_count);
-    EXPECT_EQ(a.per_pattern[i].node_frequency, b.per_pattern[i].node_frequency);
-    EXPECT_EQ(a.per_pattern[i].members, b.per_pattern[i].members);
-  }
-}
+using engine::ShardPolicy;
+using test::expect_analysis_identical;
 
 /// A small mixed corpus covering both generation strategies, duplicates,
 /// and the refinement loop.
@@ -229,23 +223,122 @@ TEST(Engine, MatchesHandWiredPipeline) {
     EXPECT_EQ(result.node_cycles[n], scheduled.schedule.cycle_of(n));
 }
 
-TEST(Engine, DeterministicAcrossThreadCountsAndCacheSettings) {
+TEST(Engine, DeterministicAcrossThreadCountsCacheSettingsAndShardPolicies) {
   const std::vector<Job> jobs = test_corpus();
   std::string reference;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     for (const bool use_cache : {true, false}) {
-      EngineOptions options;
-      options.threads = threads;
-      options.use_cache = use_cache;
-      Engine eng(options);
-      const engine::BatchResult batch = eng.run_batch(jobs);
-      EXPECT_EQ(batch.succeeded(), jobs.size());
-      const std::string serialized = batch_to_json(batch).dump();
-      if (reference.empty()) reference = serialized;
-      EXPECT_EQ(serialized, reference)
-          << "results diverge at threads=" << threads << " cache=" << use_cache;
+      for (const ShardPolicy policy : {ShardPolicy::Uniform, ShardPolicy::Adaptive}) {
+        EngineOptions options;
+        options.threads = threads;
+        options.use_cache = use_cache;
+        options.shard_policy = policy;
+        Engine eng(options);
+        const engine::BatchResult batch = eng.run_batch(jobs);
+        EXPECT_EQ(batch.succeeded(), jobs.size());
+        const std::string serialized = batch_to_json(batch).dump();
+        if (reference.empty()) reference = serialized;
+        EXPECT_EQ(serialized, reference)
+            << "results diverge at threads=" << threads << " cache=" << use_cache
+            << " adaptive=" << (policy == ShardPolicy::Adaptive);
+      }
     }
   }
+}
+
+TEST(AdaptiveSharding, RootCostEstimatesAreShapedLikeTheSearchForest) {
+  // The estimate only steers load balance, but its shape must be sane:
+  // deterministic, ≥ 1 everywhere (every root enumerates at least itself),
+  // maximal nowhere below a root whose compatible-successor set is empty,
+  // and decreasing along fir(8)'s parallel multiplier bank, where root r
+  // has exactly (taps - 1 - r) compatible higher-id siblings.
+  const Dfg dfg = workloads::make_workload("fir(8)");
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+  EnumerateOptions options;
+  options.max_size = 5;
+
+  const std::vector<std::uint64_t> costs = estimate_root_costs(dfg, levels, reach, options);
+  ASSERT_EQ(costs.size(), dfg.node_count());
+  EXPECT_EQ(costs, estimate_root_costs(dfg, levels, reach, options));
+  for (const std::uint64_t c : costs) EXPECT_GE(c, 1u);
+  // The 8 multiplies are nodes 0..7 (insertion order); their estimated
+  // subtrees must be strictly decreasing in root id.
+  for (NodeId r = 0; r + 1 < 8; ++r)
+    EXPECT_GT(costs[r], costs[r + 1]) << "root " << r;
+  // A sink with no higher-id parallel nodes costs exactly 1.
+  EXPECT_EQ(costs[dfg.node_count() - 1], 1u);
+
+  // max_size 1: every subtree is exactly the root itself.
+  options.max_size = 1;
+  for (const std::uint64_t c : estimate_root_costs(dfg, levels, reach, options))
+    EXPECT_EQ(c, 1u);
+}
+
+TEST(AdaptiveSharding, PackerProducesValidPartitions) {
+  // The LPT packer's hard invariant: whatever the costs, the plan is a
+  // partition of [0, n) — every root in exactly one shard — with at most
+  // target_shards shards and ascending roots per shard. Property-checked
+  // over seeded cost vectors including adversarial shapes (all-equal,
+  // one-dominant, zeros, saturated).
+  Rng rng(0x9A2C);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t n = 1 + rng.below(200);
+    const std::size_t target = 1 + rng.below(40);
+    std::vector<std::uint64_t> costs(n);
+    for (auto& c : costs) {
+      switch (rng.below(4)) {
+        case 0: c = 1; break;                                  // all-equal
+        case 1: c = rng.below(1000); break;                    // small mixed
+        case 2: c = rng.below(2) ? 1'000'000'000ULL : 1; break;  // dominant
+        default: c = 0; break;                                 // degenerate
+      }
+    }
+    const auto plan = engine::pack_roots_by_cost(costs, target);
+    EXPECT_LE(plan.size(), std::max<std::size_t>(target, 1));
+    std::vector<int> seen(n, 0);
+    for (const auto& shard : plan) {
+      EXPECT_TRUE(std::is_sorted(shard.begin(), shard.end()));
+      for (const NodeId r : shard) {
+        ASSERT_LT(r, n);
+        ++seen[r];
+      }
+    }
+    for (std::size_t r = 0; r < n; ++r)
+      EXPECT_EQ(seen[r], 1) << "root " << r << " (trial " << trial << ")";
+    // Deterministic: the plan is a pure function of the cost vector.
+    EXPECT_EQ(plan, engine::pack_roots_by_cost(costs, target));
+  }
+
+  // LPT shape on a clearly skewed input: the dominant root sits alone.
+  const auto skewed = engine::pack_roots_by_cost({1'000'000, 1, 1, 1, 1, 1}, 3);
+  ASSERT_EQ(skewed.size(), 3u);
+  bool dominant_alone = false;
+  for (const auto& shard : skewed)
+    if (shard == std::vector<NodeId>{0}) dominant_alone = true;
+  EXPECT_TRUE(dominant_alone);
+}
+
+TEST(AdaptiveSharding, PlansAreValidPartitionsAndMergeIdentically) {
+  // Whatever plan the packer produces, it must be a partition of the root
+  // set — and any partition merges to the monolithic analysis, so run the
+  // actual equivalence end-to-end through the engine-facing entry points.
+  const Job job = Job::from_workload("paper_3dft");
+  const Levels levels = compute_levels(job.dfg);
+  const Reachability reach(job.dfg);
+  EnumerateOptions options;
+  options.max_size = job.select.capacity;
+  options.span_limit = job.select.span_limit;
+
+  EngineOptions adaptive;
+  adaptive.shard_policy = ShardPolicy::Adaptive;
+  adaptive.threads = 3;
+  Engine eng(adaptive);
+  const engine::JobResult result = eng.run(job);
+  ASSERT_TRUE(result.success);
+
+  const AntichainAnalysis whole = enumerate_antichains(job.dfg, levels, reach, options);
+  EXPECT_EQ(result.antichains, whole.total);
 }
 
 TEST(Engine, CacheOffComputesEveryJob) {

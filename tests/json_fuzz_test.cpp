@@ -1,0 +1,201 @@
+// Fuzz-style robustness layer for the JSON parser (io/json) and the
+// corpus/results readers above it (io/result_io): a seeded mutation corpus
+// — truncations, bit flips, junk splices, deep nesting — over valid
+// documents, asserting every mutation either parses or throws a std::
+// exception. Nothing may crash, hang, or leak; the suite runs under the
+// ASan/UBSan CI leg, which turns any overflow, OOB read or leak into a
+// hard failure. Every mutation is derived from fixed seeds, so a failure
+// reproduces from the gtest name alone.
+#include "io/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "io/result_io.hpp"
+#include "test_util.hpp"
+#include "util/rng.hpp"
+#include "workloads/corpus.hpp"
+
+namespace mpsched {
+namespace {
+
+/// Runs one hostile input through the parser. Success and std::exception
+/// are both fine; anything else (abort, sanitizer report) fails the run.
+void expect_parse_survives(const std::string& text) {
+  try {
+    (void)Json::parse(text);
+  } catch (const std::exception&) {
+    // rejected cleanly — the expected outcome for most mutations
+  }
+}
+
+/// Same contract one layer up: parse, then feed whatever parsed into the
+/// corpus reader, which must validate rather than trust the document.
+void expect_corpus_reader_survives(const std::string& text) {
+  try {
+    (void)corpus_from_json(Json::parse(text));
+  } catch (const std::exception&) {
+  }
+}
+
+/// The seed documents: a real corpus file and a real results file (the
+/// two formats mpsched_batch reads/writes), pretty and compact.
+std::vector<std::string> seed_documents() {
+  std::vector<engine::Job> jobs;
+  jobs.push_back(engine::Job::from_workload("small_example"));
+  engine::Job inline_job;
+  inline_job.name = "inline";
+  inline_job.dfg = test::small_random_dag(3);
+  inline_job.refine = true;
+  jobs.push_back(std::move(inline_job));
+
+  engine::Engine eng;
+  const engine::BatchResult batch = eng.run_batch(jobs);
+
+  std::vector<std::string> docs;
+  docs.push_back(corpus_to_json(jobs).dump(2));
+  docs.push_back(corpus_to_json(jobs).dump(-1));
+  docs.push_back(batch_to_json(batch, true).dump(2));
+  docs.push_back(batch_to_json(batch).dump(-1));
+  return docs;
+}
+
+TEST(JsonFuzz, EveryTruncationOfEverySeedDocumentSurvives) {
+  for (const std::string& doc : seed_documents())
+    for (std::size_t len = 0; len <= doc.size(); ++len) {
+      const std::string prefix = doc.substr(0, len);
+      expect_parse_survives(prefix);
+      expect_corpus_reader_survives(prefix);
+    }
+}
+
+TEST(JsonFuzz, SeededBitFlipsSurvive) {
+  Rng rng(0xF1A9);
+  for (const std::string& doc : seed_documents())
+    for (int trial = 0; trial < 300; ++trial) {
+      std::string mutated = doc;
+      // 1-4 independent single-bit flips.
+      const std::size_t flips = 1 + rng.below(4);
+      for (std::size_t f = 0; f < flips; ++f) {
+        const std::size_t at = rng.below(mutated.size());
+        mutated[at] = static_cast<char>(static_cast<unsigned char>(mutated[at]) ^
+                                        (1u << rng.below(8)));
+      }
+      expect_parse_survives(mutated);
+      expect_corpus_reader_survives(mutated);
+    }
+}
+
+TEST(JsonFuzz, SeededJunkSplicesSurvive) {
+  Rng rng(0xB0B);
+  for (const std::string& doc : seed_documents())
+    for (int trial = 0; trial < 200; ++trial) {
+      std::string mutated = doc;
+      switch (rng.below(4)) {
+        case 0: {  // insert junk bytes (full 0x00-0xff range)
+          std::string junk;
+          for (std::size_t i = 1 + rng.below(16); i > 0; --i)
+            junk += static_cast<char>(rng.below(256));
+          mutated.insert(rng.below(mutated.size() + 1), junk);
+          break;
+        }
+        case 1: {  // delete a slice
+          const std::size_t at = rng.below(mutated.size());
+          mutated.erase(at, 1 + rng.below(mutated.size() - at));
+          break;
+        }
+        case 2: {  // duplicate a slice somewhere else
+          const std::size_t at = rng.below(mutated.size());
+          const std::string slice = mutated.substr(at, 1 + rng.below(32));
+          mutated.insert(rng.below(mutated.size() + 1), slice);
+          break;
+        }
+        default: {  // overwrite a run with one repeated hostile byte
+          static constexpr char hostile[] = {'"', '\\', '{', '[', ',', ':', '\0', '\n',
+                                             '9', '-', 'e', '.', '\x7f', '\xff'};
+          const std::size_t at = rng.below(mutated.size());
+          const std::size_t run = 1 + rng.below(std::min<std::size_t>(
+                                          mutated.size() - at, 24));
+          for (std::size_t i = 0; i < run; ++i)
+            mutated[at + i] = hostile[rng.below(std::size(hostile))];
+          break;
+        }
+      }
+      expect_parse_survives(mutated);
+      expect_corpus_reader_survives(mutated);
+    }
+}
+
+TEST(JsonFuzz, DeepNestingIsBoundedNotFatal) {
+  // The parser's recursion is depth-limited; hostile nesting must be a
+  // clean parse error, never a stack overflow. 256 levels are in-spec.
+  std::string ok_doc;
+  for (int i = 0; i < 256; ++i) ok_doc += '[';
+  ok_doc += "1";
+  for (int i = 0; i < 256; ++i) ok_doc += ']';
+  EXPECT_NO_THROW((void)Json::parse(ok_doc));
+
+  const auto expect_depth_rejected = [](const std::string& text) {
+    EXPECT_THROW((void)Json::parse(text), std::invalid_argument);
+  };
+  // One past the limit, far past the limit, and mixed/unclosed variants.
+  for (const int depth : {257, 10'000, 200'000}) {
+    std::string arrays, objects, mixed;
+    for (int i = 0; i < depth; ++i) {
+      arrays += '[';
+      objects += "{\"k\":";
+      mixed += (i % 2 == 0) ? std::string("[") : std::string("{\"k\":");
+    }
+    expect_depth_rejected(arrays);  // unclosed: must fail on depth, not EOF scan
+    std::string closed = arrays + "null" + std::string(static_cast<std::size_t>(depth), ']');
+    expect_depth_rejected(closed);
+    expect_depth_rejected(objects);
+    expect_depth_rejected(mixed);
+  }
+}
+
+TEST(JsonFuzz, HostileScalarsSurvive) {
+  // Number/string edge cases that historically break hand-rolled parsers.
+  for (const char* text : {
+           "1e999999999", "-1e999999999", "1e-999999999",           // range
+           "99999999999999999999999999999999999999",                // huge int
+           "-0.0e+308", "0.00000000000000000000000000000001",       // subnormals
+           "\"\\udc00\"", "\"\\ud800\"", "\"\\ud800\\ud800\"",      // surrogates
+           "\"\\u0000\"", "\"\\uffff\"",                            // code points
+           "[1,2,3,]", "{\"a\":}", "{:1}", "[,]", "01", "+1", ".5",
+           "1.", "1e", "1e+", "--1", "truex", "nul", "\xef\xbb\xbf{}",  // BOM
+           "\"unterminated", "\"bad \\q escape\"", "nan", "inf", "-inf",
+       })
+    expect_parse_survives(text);
+}
+
+TEST(JsonFuzz, ParserAcceptanceImpliesSerializability) {
+  // Anything the parser accepts, the writer must be able to dump and the
+  // parser re-accept (fuzz-found documents stay inside the round-trip
+  // contract). Run the seeded junk corpus again, keeping the survivors.
+  Rng rng(0x5EED);
+  const std::vector<std::string> docs = seed_documents();
+  int survivors = 0;
+  for (const std::string& doc : docs)
+    for (int trial = 0; trial < 100; ++trial) {
+      std::string mutated = doc;
+      const std::size_t at = rng.below(mutated.size());
+      mutated[at] = static_cast<char>(rng.below(256));
+      try {
+        const Json parsed = Json::parse(mutated);
+        ++survivors;
+        const std::string dumped = parsed.dump(2);
+        EXPECT_EQ(Json::parse(dumped).dump(2), dumped);
+      } catch (const std::exception&) {
+      }
+    }
+  // Single-byte substitutions inside string values usually still parse, so
+  // the set must be non-trivial for this test to mean anything.
+  EXPECT_GT(survivors, 0);
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 
+#include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "graph/levels.hpp"
 #include "pattern/random.hpp"
@@ -62,6 +63,22 @@ inline void expect_valid_schedule(const Dfg& g, const MpScheduleResult& result,
   if (g.node_count() > 0) {
     const Levels lv = compute_levels(g);
     EXPECT_GE(result.cycles, static_cast<std::size_t>(lv.critical_path_length()));
+  }
+}
+
+/// Field-by-field bit-identity of two antichain analyses — the contract
+/// both cache tiers promise (engine_test for memory, cache_store_test for
+/// the serialized round-trip).
+inline void expect_analysis_identical(const AntichainAnalysis& a,
+                                      const AntichainAnalysis& b) {
+  EXPECT_EQ(a.total, b.total);
+  EXPECT_EQ(a.count_by_size_span, b.count_by_size_span);
+  ASSERT_EQ(a.per_pattern.size(), b.per_pattern.size());
+  for (std::size_t i = 0; i < a.per_pattern.size(); ++i) {
+    EXPECT_EQ(a.per_pattern[i].pattern, b.per_pattern[i].pattern);
+    EXPECT_EQ(a.per_pattern[i].antichain_count, b.per_pattern[i].antichain_count);
+    EXPECT_EQ(a.per_pattern[i].node_frequency, b.per_pattern[i].node_frequency);
+    EXPECT_EQ(a.per_pattern[i].members, b.per_pattern[i].members);
   }
 }
 

@@ -3,20 +3,28 @@
 // Loads a JSON scenario corpus (job list), executes it on the engine, and
 // writes a JSON results file. The results are deterministic: the same
 // corpus produces byte-identical output at any --threads value, cache on
-// or off.
+// or off (memory or disk), uniform or adaptive sharding.
 //
 // Usage:
 //   mpsched_batch --corpus FILE --out FILE [--threads N] [--no-cache]
-//                 [--diagnostics] [--compact]
+//                 [--cache-dir DIR] [--cache-stats] [--require-full-cache]
+//                 [--shard-policy uniform|adaptive] [--diagnostics]
+//                 [--compact]
 //   mpsched_batch --demo FILE        write the built-in 8-job demo corpus
 //   mpsched_batch --list             list accepted workload specs
 //   mpsched_batch --selftest         in-memory corpus round-trip +
 //                                    determinism check (used by ctest)
+//
+// --cache-dir persists analyses across runs: a second run on the same
+// directory recomputes nothing and emits a byte-identical results file.
+// --require-full-cache turns that expectation into an exit status (used
+// by the shared-cache CI flow).
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "engine/cache_store.hpp"
 #include "engine/engine.hpp"
 #include "io/result_io.hpp"
 #include "util/strings.hpp"
@@ -30,13 +38,21 @@ namespace {
 int usage(const char* argv0) {
   std::printf(
       "usage:\n"
-      "  %s --corpus FILE --out FILE [--threads N] [--no-cache] [--diagnostics]\n"
-      "     [--compact]\n"
+      "  %s --corpus FILE --out FILE [--threads N] [--no-cache]\n"
+      "     [--cache-dir DIR] [--cache-stats] [--require-full-cache]\n"
+      "     [--shard-policy uniform|adaptive] [--diagnostics] [--compact]\n"
       "  %s --demo FILE\n"
       "  %s --list\n"
       "  %s --selftest\n",
       argv0, argv0, argv0, argv0);
   return 2;
+}
+
+engine::ShardPolicy shard_policy_from(const std::string& s) {
+  if (s == "uniform") return engine::ShardPolicy::Uniform;
+  if (s == "adaptive") return engine::ShardPolicy::Adaptive;
+  throw std::invalid_argument("unknown shard policy '" + s +
+                              "' (expected uniform or adaptive)");
 }
 
 std::vector<engine::Job> demo_jobs() {
@@ -58,6 +74,26 @@ void print_summary(const engine::BatchResult& batch) {
               batch.analyses_computed, batch.analyses_reused);
 }
 
+void print_cache_stats(engine::Engine& eng) {
+  const engine::CacheStats m = eng.cache().stats();
+  std::printf("cache: memory analyses %llu hits / %llu misses, graphs %llu hits / %llu "
+              "misses\n",
+              static_cast<unsigned long long>(m.analysis_hits),
+              static_cast<unsigned long long>(m.analysis_misses),
+              static_cast<unsigned long long>(m.graph_hits),
+              static_cast<unsigned long long>(m.graph_misses));
+  if (const engine::CacheStore* store = eng.cache().disk_store()) {
+    const engine::CacheStoreStats d = store->stats();
+    std::printf("cache: disk %llu hits / %llu misses (%llu corrupt), %llu stores, "
+                "%zu entries in %s\n",
+                static_cast<unsigned long long>(d.disk_hits),
+                static_cast<unsigned long long>(d.disk_misses),
+                static_cast<unsigned long long>(d.disk_corrupt),
+                static_cast<unsigned long long>(d.disk_stores), store->entry_count(),
+                store->directory().c_str());
+  }
+}
+
 /// Corpus → JSON → corpus → JSON fixpoint, plus engine determinism across
 /// thread counts and cache settings. Exercises exactly the properties the
 /// results file promises.
@@ -76,25 +112,32 @@ int selftest() {
   std::string reference;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
     for (const bool use_cache : {true, false}) {
-      engine::EngineOptions options;
-      options.threads = threads;
-      options.use_cache = use_cache;
-      engine::Engine eng(options);
-      const engine::BatchResult batch = eng.run_batch(jobs);
-      if (batch.succeeded() != batch.jobs.size()) {
-        std::printf("FAIL: %zu jobs failed (threads=%zu cache=%d)\n",
-                    batch.jobs.size() - batch.succeeded(), threads, use_cache);
-        return 1;
-      }
-      const std::string out = batch_to_json(batch).dump(2);
-      if (reference.empty()) reference = out;
-      if (out != reference) {
-        std::printf("FAIL: results differ at threads=%zu cache=%d\n", threads, use_cache);
-        return 1;
+      for (const engine::ShardPolicy policy :
+           {engine::ShardPolicy::Uniform, engine::ShardPolicy::Adaptive}) {
+        engine::EngineOptions options;
+        options.threads = threads;
+        options.use_cache = use_cache;
+        options.shard_policy = policy;
+        engine::Engine eng(options);
+        const engine::BatchResult batch = eng.run_batch(jobs);
+        const bool adaptive = policy == engine::ShardPolicy::Adaptive;
+        if (batch.succeeded() != batch.jobs.size()) {
+          std::printf("FAIL: %zu jobs failed (threads=%zu cache=%d adaptive=%d)\n",
+                      batch.jobs.size() - batch.succeeded(), threads, use_cache, adaptive);
+          return 1;
+        }
+        const std::string out = batch_to_json(batch).dump(2);
+        if (reference.empty()) reference = out;
+        if (out != reference) {
+          std::printf("FAIL: results differ at threads=%zu cache=%d adaptive=%d\n",
+                      threads, use_cache, adaptive);
+          return 1;
+        }
       }
     }
   }
-  std::printf("determinism: identical results JSON across threads {1,2} x cache {on,off}\n");
+  std::printf("determinism: identical results JSON across threads {1,2} x cache {on,off}"
+              " x shards {uniform,adaptive}\n");
   std::printf("selftest passed\n");
   return 0;
 }
@@ -102,10 +145,11 @@ int selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string corpus_path, out_path, demo_path;
+  std::string corpus_path, out_path, demo_path, cache_dir;
   std::size_t threads = 0;
+  engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
   bool no_cache = false, diagnostics = false, compact = false, list = false,
-       run_selftest = false;
+       run_selftest = false, cache_stats = false, require_full_cache = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -122,6 +166,10 @@ int main(int argc, char** argv) {
       else if (arg == "--demo") demo_path = value();
       else if (arg == "--threads") threads = parse_size(value());
       else if (arg == "--no-cache") no_cache = true;
+      else if (arg == "--cache-dir") cache_dir = value();
+      else if (arg == "--cache-stats") cache_stats = true;
+      else if (arg == "--require-full-cache") require_full_cache = true;
+      else if (arg == "--shard-policy") shard_policy = shard_policy_from(value());
       else if (arg == "--diagnostics") diagnostics = true;
       else if (arg == "--compact") compact = true;
       else if (arg == "--list") list = true;
@@ -151,16 +199,32 @@ int main(int argc, char** argv) {
 
     if (corpus_path.empty() || out_path.empty()) return usage(argv[0]);
 
+    if (no_cache && !cache_dir.empty()) {
+      std::printf("error: --no-cache and --cache-dir are mutually exclusive\n");
+      return 2;
+    }
+
     const std::vector<engine::Job> jobs = load_corpus(corpus_path);
     engine::EngineOptions options;
     options.threads = threads;
     options.use_cache = !no_cache;
+    options.cache_dir = cache_dir;
+    options.shard_policy = shard_policy;
     engine::Engine eng(options);
     const engine::BatchResult batch = eng.run_batch(jobs);
 
     print_summary(batch);
+    if (cache_stats) print_cache_stats(eng);
     save_json(batch_to_json(batch, diagnostics), out_path, compact ? -1 : 2);
     std::printf("results written to %s\n", out_path.c_str());
+    if (require_full_cache && batch.analyses_computed != 0) {
+      // Results are on disk for diffing; the exit status carries the
+      // verdict the shared-cache CI flow asserts on.
+      std::printf("error: --require-full-cache, but %zu analyses were computed instead of "
+                  "served from the cache\n",
+                  batch.analyses_computed);
+      return 1;
+    }
     return batch.succeeded() == batch.jobs.size() ? 0 : 1;
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
