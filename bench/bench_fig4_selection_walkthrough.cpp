@@ -4,6 +4,10 @@
 //   * second-iteration priorities f(p2)=24 f(p4)=84, pick {bb},
 //   * with Pdef=1 every candidate fails the color-number condition and
 //     the fabricated pattern {ab} appears.
+//
+// Every published value is a bench::Gate hard assertion — priorities per
+// candidate per iteration, both picks, the subpattern deletion count, and
+// the Pdef=1 fabrication — so the §5.2 walkthrough cannot silently drift.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -46,18 +50,27 @@ int main() {
   };
 
   TextTable t({"iteration", "candidate", "f paper", "f ours", "match"});
-  int mismatches = 0;
+  bench::Gate gate;
   for (const auto& e : expected) {
     const double ours = priority_of(result.steps[e.iteration], dfg, e.pattern);
-    const bool ok = ours == e.paper;
-    if (!ok) ++mismatches;
-    t.add(e.iteration + 1, e.pattern, e.paper, ours, ok ? "exact" : "DIFFERS");
+    // Eq. 8 on this example is exact integer arithmetic in doubles; the
+    // paper cells are pinned with no tolerance.
+    gate.check(ours == e.paper, std::string("f(") + e.pattern + ") iteration " +
+                                    std::to_string(e.iteration + 1) + ": paper=" +
+                                    std::to_string(e.paper) + " measured=" +
+                                    std::to_string(ours));
+    t.add(e.iteration + 1, e.pattern, e.paper, ours, ours == e.paper ? "exact" : "DIFFERS");
   }
   std::fputs(t.to_string().c_str(), stdout);
 
-  std::printf("\nPicks: 1st=%s (paper {aa}), 2nd=%s (paper {bb})\n",
-              result.steps[0].chosen.to_string(dfg).c_str(),
-              result.steps[1].chosen.to_string(dfg).c_str());
+  const std::string pick1 = result.steps[0].chosen.to_string(dfg);
+  const std::string pick2 = result.steps[1].chosen.to_string(dfg);
+  gate.check(pick1 == "aa", "1st pick: paper {aa}, measured {" + pick1 + "}");
+  gate.check(pick2 == "bb", "2nd pick: paper {bb}, measured {" + pick2 + "}");
+  gate.check_eq(2, static_cast<long long>(result.steps[0].subpatterns_deleted),
+                "subpatterns deleted after 1st pick (the winner itself plus {a})");
+  std::printf("\nPicks: 1st=%s (paper {aa}), 2nd=%s (paper {bb})\n", pick1.c_str(),
+              pick2.c_str());
   std::printf("Subpatterns deleted after 1st pick: %zu (the winner itself plus {a})\n",
               result.steps[0].subpatterns_deleted);
 
@@ -67,12 +80,10 @@ int main() {
   const bool fabricated =
       fallback.steps.size() == 1 && fallback.steps[0].fabricated &&
       fallback.steps[0].chosen.to_string(dfg) == "ab";
+  gate.check(fabricated,
+             "Pdef=1: all candidates rejected by Ineq. 9, fabricated pattern {ab}");
   std::printf("\nPdef=1: %s (paper: all candidates rejected by Ineq. 9, fabricate {ab})\n",
               fabricated ? "fabricated {ab} — exact" : "UNEXPECTED RESULT");
 
-  const bool ok = mismatches == 0 && fabricated &&
-                  result.steps[0].chosen.to_string(dfg) == "aa" &&
-                  result.steps[1].chosen.to_string(dfg) == "bb";
-  std::printf("Result: %s\n", ok ? "walkthrough reproduced exactly" : "MISMATCH");
-  return ok ? 0 : 1;
+  return gate.finish("Fig. 4 / §5.2 walkthrough (6 priorities + picks + fabrication)");
 }

@@ -3,8 +3,14 @@
 // ASAPmax + Span(A) + 1 total cycles. We pin every enumerated antichain of
 // the 3DFT and of random DAGs into one cycle, greedily complete the
 // schedule, and confirm the bound — plus measure its tightness.
+//
+// Every row is a bench::Gate hard assertion: zero violations (the theorem
+// itself), and the per-span antichain and bound-tight counts pinned to
+// their stable reproduced values — enumeration and the greedy completion
+// are deterministic, so any drift in either trips the gate.
 #include <algorithm>
 #include <cstdio>
+#include <string>
 
 #include "bench_common.hpp"
 #include "antichain/enumerate.hpp"
@@ -42,7 +48,16 @@ struct SpanRow {
   std::uint64_t violations = 0;   // pinned length < bound (must stay 0)
 };
 
-void run_graph(const char* label, const Dfg& g, TextTable& t) {
+/// Reproduction-pinned row: per (graph, span) antichain count, with the
+/// greedy completion observed to meet the bound exactly every time.
+struct ExpectedRow {
+  const char* graph;
+  int span;
+  std::uint64_t antichains;
+};
+
+void run_graph(const char* label, const Dfg& g, TextTable& t, bench::Gate& gate,
+               const ExpectedRow* expected, std::size_t expected_rows) {
   const Levels lv = compute_levels(g);
   EnumerateOptions options;
   options.max_size = 4;
@@ -61,12 +76,32 @@ void run_graph(const char* label, const Dfg& g, TextTable& t) {
       if (actual < bound) ++row.violations;
     }
   }
+  std::size_t rows_emitted = 0;
   for (std::size_t span = 0; span < by_span.size(); ++span) {
     if (by_span[span].antichains == 0) continue;
-    t.add(label, span, by_span[span].antichains,
-          lv.asap_max + static_cast<int>(span) + 1, by_span[span].bound_tight,
-          by_span[span].violations);
+    const SpanRow& row = by_span[span];
+    const std::string where =
+        std::string("[") + label + " span=" + std::to_string(span) + "]";
+    // Theorem 1 itself.
+    gate.check_eq(0, static_cast<long long>(row.violations), "violations " + where);
+    // Reproduction pins: the enumerated population and its tightness.
+    if (rows_emitted < expected_rows) {
+      const ExpectedRow& e = expected[rows_emitted];
+      gate.check(std::string(e.graph) == label && e.span == static_cast<int>(span),
+                 "row order " + where);
+      gate.check_eq(static_cast<long long>(e.antichains),
+                    static_cast<long long>(row.antichains), "antichains " + where);
+    }
+    gate.check_eq(static_cast<long long>(row.antichains),
+                  static_cast<long long>(row.bound_tight),
+                  "greedy completion meets the bound exactly " + where);
+    ++rows_emitted;
+    t.add(label, span, row.antichains, lv.asap_max + static_cast<int>(span) + 1,
+          row.bound_tight, row.violations);
   }
+  gate.check_eq(static_cast<long long>(expected_rows),
+                static_cast<long long>(rows_emitted),
+                std::string("populated span rows for ") + label);
 }
 
 }  // namespace
@@ -75,17 +110,32 @@ int main() {
   bench::banner("Fig. 5 / Theorem 1 — span lower bound, checked empirically",
                 "pin each antichain into one cycle, greedily complete, compare to bound");
 
+  // Reproduction-pinned populations (size <= 4 antichains per span).
+  const ExpectedRow expected_3dft[] = {
+      {"3DFT", 0, 877}, {"3DFT", 1, 1178}, {"3DFT", 2, 1026},
+      {"3DFT", 3, 613}, {"3DFT", 4, 114},
+  };
+  const ExpectedRow expected_rand11[] = {
+      {"rand-11", 0, 130}, {"rand-11", 1, 133}, {"rand-11", 2, 90}, {"rand-11", 3, 28},
+  };
+  const ExpectedRow expected_rand12[] = {
+      {"rand-12", 0, 47}, {"rand-12", 1, 35}, {"rand-12", 2, 21},
+  };
+
   TextTable t({"graph", "span", "antichains", "Thm-1 bound", "bound tight", "violations"});
-  run_graph("3DFT", workloads::paper_3dft(), t);
-  for (const std::uint64_t seed : {11ULL, 12ULL}) {
-    workloads::LayeredDagOptions dag_options;
-    dag_options.layers = 4;
-    dag_options.min_width = 2;
-    dag_options.max_width = 5;
-    run_graph(("rand-" + std::to_string(seed)).c_str(),
-              workloads::random_layered_dag(seed, dag_options), t);
-  }
+  bench::Gate gate;
+  run_graph("3DFT", workloads::paper_3dft(), t, gate, expected_3dft,
+            std::size(expected_3dft));
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 4;
+  dag_options.min_width = 2;
+  dag_options.max_width = 5;
+  run_graph("rand-11", workloads::random_layered_dag(11, dag_options), t, gate,
+            expected_rand11, std::size(expected_rand11));
+  run_graph("rand-12", workloads::random_layered_dag(12, dag_options), t, gate,
+            expected_rand12, std::size(expected_rand12));
   std::fputs(t.to_string().c_str(), stdout);
+
   std::printf("\nTheorem 1 holds iff the violations column is all zero.\n");
-  return 0;
+  return gate.finish("Fig. 5 / Theorem 1 (12 span rows x {violations, population, tightness})");
 }

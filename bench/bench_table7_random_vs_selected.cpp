@@ -10,6 +10,13 @@
 //  * Random columns depend on the authors' RNG; ours is seeded xoshiro
 //    with color-coverage rejection (the paper's finite Pdef=1 averages
 //    imply they also enforced coverage).
+//
+// Every cell is a bench::Gate hard assertion: the published 3DFT Selected
+// cells are pinned to the paper, the reconstruction-dependent cells (5DFT
+// Selected, both Random columns) are pinned to their stable reproduced
+// values — the draws are seeded, so the 10-draw cycle totals are exact
+// integers — and the paper's shape claims (Selected <= Random, monotone
+// non-increasing in Pdef) are asserted per row.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -24,9 +31,11 @@ using namespace mpsched;
 
 namespace {
 
-double random_average(const Dfg& dfg, std::size_t pdef, int trials, std::uint64_t seed) {
+/// Total cycles over `trials` seeded draws (the exact integer underlying
+/// the reported average, so the gate can pin it without a tolerance).
+long long random_total(const Dfg& dfg, std::size_t pdef, int trials, std::uint64_t seed) {
   Rng rng(seed);
-  double total = 0;
+  long long total = 0;
   for (int t = 0; t < trials; ++t) {
     RandomPatternOptions rpo;
     rpo.capacity = 5;
@@ -37,9 +46,9 @@ double random_average(const Dfg& dfg, std::size_t pdef, int trials, std::uint64_
       std::printf("random scheduling failed: %s\n", r.error.c_str());
       std::exit(1);
     }
-    total += static_cast<double>(r.cycles);
+    total += static_cast<long long>(r.cycles);
   }
-  return total / trials;
+  return total;
 }
 
 std::size_t selected_cycles(const Dfg& dfg, std::size_t pdef, std::string* patterns_out) {
@@ -66,46 +75,66 @@ int main() {
   const std::size_t paper_selected_3dft[] = {8, 7, 7, 7, 6};
   const double paper_random_5dft[] = {23.4, 22, 20.4, 15.8, 15.8};
   const std::size_t paper_selected_5dft[] = {19, 16, 16, 15, 15};
+  // Reproduction-pinned cells (stable: seeded draws, deterministic
+  // selection). Random cells are 10-draw cycle totals (mean × 10).
+  const long long repro_random_total_3dft[] = {112, 98, 85, 70, 68};
+  const long long repro_random_total_5dft[] = {179, 145, 117, 104, 106};
+  const std::size_t repro_selected_5dft[] = {14, 10, 10, 10, 10};
 
   const Dfg dft3 = workloads::paper_3dft();
   const Dfg dft5 = workloads::winograd_dft5();
 
   TextTable t({"Pdef", "3DFT rnd (paper/ours)", "3DFT sel (paper/ours)", "match",
                "5DFT rnd (paper/ours)", "5DFT sel (paper/ours)"});
+  bench::Gate gate;
   int exact_selected_3dft = 0;
-  bool monotone_ok = true;
   std::size_t prev3 = SIZE_MAX, prev5 = SIZE_MAX;
 
   for (std::size_t pdef = 1; pdef <= 5; ++pdef) {
-    const double rnd3 = random_average(dft3, pdef, 10, 1000 + pdef);
-    const double rnd5 = random_average(dft5, pdef, 10, 2000 + pdef);
+    const std::size_t i = pdef - 1;
+    const long long rnd3_total = random_total(dft3, pdef, 10, 1000 + pdef);
+    const long long rnd5_total = random_total(dft5, pdef, 10, 2000 + pdef);
+    const double rnd3 = static_cast<double>(rnd3_total) / 10.0;
+    const double rnd5 = static_cast<double>(rnd5_total) / 10.0;
     std::string sel3_patterns, sel5_patterns;
     const std::size_t sel3 = selected_cycles(dft3, pdef, &sel3_patterns);
     const std::size_t sel5 = selected_cycles(dft5, pdef, &sel5_patterns);
 
-    if (sel3 == paper_selected_3dft[pdef - 1]) ++exact_selected_3dft;
-    monotone_ok = monotone_ok && sel3 <= prev3 && sel5 <= prev5 &&
-                  static_cast<double>(sel3) <= rnd3 && static_cast<double>(sel5) <= rnd5;
+    // Published cells: pinned to the paper. Reconstruction cells: pinned
+    // to their reproduced values so any drift in the RNG, the coverage
+    // rejection, selection or the scheduler trips the gate.
+    const std::string row = "[Pdef=" + std::to_string(pdef) + "]";
+    gate.check_eq(static_cast<long long>(paper_selected_3dft[i]),
+                  static_cast<long long>(sel3), "3DFT selected " + row);
+    gate.check_eq(static_cast<long long>(repro_selected_5dft[i]),
+                  static_cast<long long>(sel5), "5DFT selected " + row);
+    gate.check_eq(repro_random_total_3dft[i], rnd3_total, "3DFT random 10-draw total " + row);
+    gate.check_eq(repro_random_total_5dft[i], rnd5_total, "5DFT random 10-draw total " + row);
+
+    // The paper's shape claims, per row.
+    gate.check(static_cast<double>(sel3) <= rnd3, "3DFT selected <= random " + row);
+    gate.check(static_cast<double>(sel5) <= rnd5, "5DFT selected <= random " + row);
+    gate.check(sel3 <= prev3, "3DFT selected monotone non-increasing " + row);
+    gate.check(sel5 <= prev5, "5DFT selected monotone non-increasing " + row);
+    if (sel3 == paper_selected_3dft[i]) ++exact_selected_3dft;
     prev3 = sel3;
     prev5 = sel5;
 
     char rnd3_cell[48], rnd5_cell[48];
-    std::snprintf(rnd3_cell, sizeof rnd3_cell, "%.1f/%.1f", paper_random_3dft[pdef - 1], rnd3);
-    std::snprintf(rnd5_cell, sizeof rnd5_cell, "%.1f/%.1f", paper_random_5dft[pdef - 1], rnd5);
+    std::snprintf(rnd3_cell, sizeof rnd3_cell, "%.1f/%.1f", paper_random_3dft[i], rnd3);
+    std::snprintf(rnd5_cell, sizeof rnd5_cell, "%.1f/%.1f", paper_random_5dft[i], rnd5);
     t.add(pdef, rnd3_cell,
-          std::to_string(paper_selected_3dft[pdef - 1]) + "/" + std::to_string(sel3),
-          bench::match(static_cast<long long>(paper_selected_3dft[pdef - 1]),
+          std::to_string(paper_selected_3dft[i]) + "/" + std::to_string(sel3),
+          bench::match(static_cast<long long>(paper_selected_3dft[i]),
                        static_cast<long long>(sel3)),
           rnd5_cell,
-          std::to_string(paper_selected_5dft[pdef - 1]) + "/" + std::to_string(sel5));
+          std::to_string(paper_selected_5dft[i]) + "/" + std::to_string(sel5));
   }
   std::fputs(t.to_string().c_str(), stdout);
 
   std::printf("\n3DFT Selected column: %d/5 cells exact%s\n", exact_selected_3dft,
               exact_selected_3dft == 5 ? " — reproduced exactly" : "");
-  std::printf("Shape checks (Selected <= Random, monotone non-increasing in Pdef): %s\n",
-              monotone_ok ? "hold for both workloads" : "VIOLATED");
   std::printf("Note: the 5DFT columns are shape-comparable only — the paper never "
               "specifies its 5DFT graph (ours: Winograd, 44 nodes).\n");
-  return monotone_ok && exact_selected_3dft == 5 ? 0 : 1;
+  return gate.finish("Table 7 (5 Pdef rows x {selected, random totals, shape})");
 }

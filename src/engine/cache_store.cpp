@@ -1,7 +1,10 @@
 #include "engine/cache_store.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <system_error>
+#include <vector>
 
 #ifdef _WIN32
 #include <process.h>
@@ -26,6 +29,26 @@ long current_pid() {
 #endif
 }
 
+bool is_committed_entry(const std::string& name) {
+  return name.size() == 36 && name.ends_with(".mpa") && !name.starts_with("tmp-");
+}
+
+bool is_temp_entry(const std::string& name) {
+  return name.starts_with("tmp-") && name.ends_with(".mpa");
+}
+
+/// File age in whole seconds by mtime; 0 for unreadable or future mtimes,
+/// so errors never make a fresh file look stale.
+std::uint64_t age_seconds_of(const fs::path& path) {
+  std::error_code ec;
+  const fs::file_time_type mtime = fs::last_write_time(path, ec);
+  if (ec) return 0;
+  const auto age = fs::file_time_type::clock::now() - mtime;
+  if (age.count() < 0) return 0;
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(age).count());
+}
+
 }  // namespace
 
 CacheStore::CacheStore(std::string directory) : dir_(std::move(directory)) {
@@ -34,6 +57,75 @@ CacheStore::CacheStore(std::string directory) : dir_(std::move(directory)) {
   if (ec || !fs::is_directory(dir_))
     throw std::runtime_error("cache store: cannot use directory '" + dir_ +
                              "': " + (ec ? ec.message() : "not a directory"));
+  // Orphan recovery: a process killed between temp write and rename left
+  // debris no committed-entry path ever looks at again; reclaim it here.
+  sweep_temp_files(kOrphanTempAgeSeconds);
+}
+
+std::size_t CacheStore::sweep_temp_files(std::uint64_t min_age_seconds) {
+  std::size_t removed = 0;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec)) {
+    const fs::path path = it->path();
+    if (!is_temp_entry(path.filename().string())) continue;
+    if (age_seconds_of(path) < min_age_seconds) continue;
+    std::error_code rm;
+    if (fs::remove(path, rm) && !rm) ++removed;
+  }
+  if (removed > 0) {
+    std::lock_guard lock(mutex_);
+    stats_.temp_swept += removed;
+  }
+  return removed;
+}
+
+TrimResult CacheStore::trim(const TrimOptions& options) {
+  TrimResult result;
+  result.temp_swept = sweep_temp_files(kOrphanTempAgeSeconds);
+
+  struct Entry {
+    fs::path path;
+    std::uint64_t age_seconds = 0;
+    std::uint64_t bytes = 0;
+  };
+  std::vector<Entry> entries;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec)) {
+    const fs::path path = it->path();
+    if (!is_committed_entry(path.filename().string())) continue;
+    std::error_code sz;
+    const std::uint64_t bytes = fs::file_size(path, sz);
+    entries.push_back({path, age_seconds_of(path), sz ? 0 : bytes});
+  }
+  // Oldest first; ties (age granularity is a second) break on the content
+  // key in the filename so the eviction order is deterministic.
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    if (a.age_seconds != b.age_seconds) return a.age_seconds > b.age_seconds;
+    return a.path.filename().string() < b.path.filename().string();
+  });
+
+  std::uint64_t total_bytes = 0;
+  for (const Entry& e : entries) total_bytes += e.bytes;
+
+  const auto remove_entry = [&](const Entry& e) {
+    std::error_code rm;
+    if (!fs::remove(e.path, rm) || rm) return;  // already gone / unremovable
+    ++result.entries_removed;
+    result.bytes_removed += e.bytes;
+    total_bytes -= e.bytes;
+  };
+
+  std::size_t next = 0;
+  if (options.max_age_seconds > 0)
+    while (next < entries.size() && entries[next].age_seconds > options.max_age_seconds)
+      remove_entry(entries[next++]);
+  if (options.max_total_bytes > 0)
+    while (next < entries.size() && total_bytes > options.max_total_bytes)
+      remove_entry(entries[next++]);
+
+  result.entries_kept = entries.size() - result.entries_removed;
+  result.bytes_kept = total_bytes;
+  return result;
 }
 
 std::string CacheStore::entry_filename(const CacheKey& key) {
@@ -92,10 +184,8 @@ void CacheStore::store(const CacheKey& key, const AntichainAnalysis& analysis) {
 std::size_t CacheStore::entry_count() const {
   std::size_t n = 0;
   std::error_code ec;
-  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec)) {
-    const std::string name = it->path().filename().string();
-    if (name.size() == 36 && name.ends_with(".mpa") && !name.starts_with("tmp-")) ++n;
-  }
+  for (fs::directory_iterator it(dir_, ec), end; !ec && it != end; it.increment(ec))
+    if (is_committed_entry(it->path().filename().string())) ++n;
   return n;
 }
 

@@ -47,6 +47,26 @@ struct CacheStoreStats {
   /// miss they degrade to).
   std::uint64_t disk_corrupt = 0;
   std::uint64_t disk_stores = 0;
+  /// Orphaned in-flight temp files removed (open-time sweep + trims).
+  std::uint64_t temp_swept = 0;
+};
+
+/// Age/size limits for trim(); 0 disables the respective limit.
+struct TrimOptions {
+  /// Committed entries older than this (by mtime) are removed.
+  std::uint64_t max_age_seconds = 0;
+  /// Total committed bytes are reduced to at most this, oldest entry
+  /// first (mtime, then filename, so the eviction order is deterministic).
+  std::uint64_t max_total_bytes = 0;
+};
+
+struct TrimResult {
+  std::size_t entries_removed = 0;
+  std::uint64_t bytes_removed = 0;
+  std::size_t entries_kept = 0;
+  std::uint64_t bytes_kept = 0;
+  /// Stale in-flight temp files swept alongside the trim.
+  std::size_t temp_swept = 0;
 };
 
 class CacheStore {
@@ -70,6 +90,25 @@ class CacheStore {
 
   /// Number of committed entries currently in the directory.
   std::size_t entry_count() const;
+
+  /// In-flight temp files older than this are considered debris from a
+  /// killed process (a healthy write holds its temp file for
+  /// milliseconds) and are removed by the open-time sweep and by trim().
+  static constexpr std::uint64_t kOrphanTempAgeSeconds = 3600;
+
+  /// Removes in-flight temp files older than `min_age_seconds`. Safe
+  /// while other processes write to the directory — their temp files are
+  /// seconds old, the sweep only touches cold ones. Returns the number
+  /// removed. The constructor runs this with kOrphanTempAgeSeconds so a
+  /// process killed between temp write and rename cannot leave debris
+  /// behind forever.
+  std::size_t sweep_temp_files(std::uint64_t min_age_seconds);
+
+  /// Age/size-based maintenance over committed entries. Entries are
+  /// immutable and content-addressed, so removal is always safe: a
+  /// concurrent reader of a trimmed entry degrades to a miss and
+  /// recomputes. Also sweeps stale temp files (kOrphanTempAgeSeconds).
+  TrimResult trim(const TrimOptions& options);
 
   CacheStoreStats stats() const;
 

@@ -124,6 +124,16 @@ AnalysisCache& Engine::cache() {
   return options_.cache != nullptr ? *options_.cache : *owned_cache_;
 }
 
+EngineStats Engine::stats() {
+  EngineStats snapshot;
+  {
+    std::lock_guard lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.cache = cache().stats();
+  return snapshot;
+}
+
 JobResult Engine::run(const Job& job) {
   return run_batch({job}).jobs.front();
 }
@@ -390,6 +400,14 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
 
   batch.wall_ms = wall.millis();
   batch.cache_stats = store.stats();
+  {
+    std::lock_guard lock(stats_mutex_);
+    ++stats_.batches;
+    stats_.jobs += batch.jobs.size();
+    stats_.jobs_succeeded += batch.succeeded();
+    stats_.analyses_computed += batch.analyses_computed;
+    stats_.analyses_reused += batch.analyses_reused;
+  }
   return batch;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "engine/analysis_cache.hpp"
@@ -83,6 +84,20 @@ struct BatchResult {
   std::size_t succeeded() const;
 };
 
+/// Cumulative counters over every run_batch() of one engine plus a cache
+/// snapshot — the "how warm is this engine" surface a long-running front
+/// end (src/service) reports without poking engine internals. Counters
+/// only grow; `cache` is the shared AnalysisCache's own snapshot, so with
+/// an external cache it can include other engines' traffic.
+struct EngineStats {
+  std::uint64_t batches = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t jobs_succeeded = 0;
+  std::uint64_t analyses_computed = 0;
+  std::uint64_t analyses_reused = 0;
+  CacheStats cache{};
+};
+
 /// The Adaptive-policy packer: greedy LPT over per-root cost estimates —
 /// roots in descending cost, each onto the currently lightest shard, at
 /// most `target_shards` shards (clamped to the root count). The result is
@@ -110,12 +125,19 @@ class Engine {
   /// The cache in use (owned or external).
   AnalysisCache& cache();
 
+  /// Snapshot of the cumulative counters (thread-safe; run_batch may be
+  /// executing concurrently — the snapshot is simply the last completed
+  /// state).
+  EngineStats stats();
+
  private:
   ThreadPool& pool();
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<AnalysisCache> owned_cache_;
+  std::mutex stats_mutex_;
+  EngineStats stats_;
 };
 
 }  // namespace mpsched::engine

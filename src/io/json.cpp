@@ -472,9 +472,13 @@ class Parser {
 Json Json::parse(std::string_view text) { return Parser(text).parse_document(); }
 
 void save_json(const Json& doc, const std::string& path, int indent) {
+  // Serialize before touching the file: an unserializable document (e.g.
+  // one holding a non-finite double) must not leave a truncated or empty
+  // file behind.
+  const std::string text = doc.dump(indent);
   std::ofstream out(path);
   if (!out.good()) throw std::runtime_error("cannot open '" + path + "' for writing");
-  out << doc.dump(indent) << '\n';
+  out << text << '\n';
   if (!out.good()) throw std::runtime_error("write to '" + path + "' failed");
 }
 

@@ -95,6 +95,8 @@ Json schedule_to_json(const MpScheduleOptions& o) {
   return j;
 }
 
+}  // namespace
+
 Json job_to_json(const Job& job) {
   Json j = Json::object();
   // Normalize empty names at write time (same back-fill the reader and the
@@ -128,6 +130,8 @@ void reject_unknown_keys(const Json& obj, std::initializer_list<const char*> all
   }
 }
 
+namespace {
+
 SelectOptions select_from_json(const Json& j, const std::string& where) {
   reject_unknown_keys(j, {"pattern_count", "capacity", "epsilon", "alpha", "size_bonus",
                           "span_limit", "generation"},
@@ -155,6 +159,8 @@ MpScheduleOptions schedule_from_json(const Json& j, const std::string& where) {
   if (const Json* v = j.find("random_pattern_ties")) o.random_pattern_ties = v->as_bool();
   return o;
 }
+
+}  // namespace
 
 Job job_from_json(const Json& j, std::size_t index) {
   const std::string where =
@@ -225,8 +231,6 @@ Json result_to_json(const JobResult& r, bool include_diagnostics) {
   }
   return j;
 }
-
-}  // namespace
 
 Json corpus_to_json(const std::vector<Job>& jobs) {
   Json doc = Json::object();

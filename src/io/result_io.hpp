@@ -13,6 +13,7 @@
 //    thread count, cache warm or cold — serialize byte-identically.
 #pragma once
 
+#include <initializer_list>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,20 @@ namespace mpsched {
 /// Schema tags embedded in the documents (checked on load).
 inline constexpr const char* kCorpusSchema = "mpsched.batch.corpus/v1";
 inline constexpr const char* kResultsSchema = "mpsched.batch.results/v1";
+
+/// Strict-key validator shared by the corpus/results readers and the
+/// service envelope (io/service_io): any key of `obj` not in `allowed`
+/// throws std::invalid_argument naming `where` and the offending key.
+void reject_unknown_keys(const Json& obj, std::initializer_list<const char*> allowed,
+                         const std::string& where);
+
+/// Single-entry (de)serializers underlying the corpus/results documents,
+/// exposed for the service envelope (io/service_io): one corpus entry and
+/// one results entry, with exactly the document semantics described above.
+Json job_to_json(const engine::Job& job);
+/// `index` only labels error messages ("job #3 ...").
+engine::Job job_from_json(const Json& doc, std::size_t index = 0);
+Json result_to_json(const engine::JobResult& result, bool include_diagnostics = false);
 
 /// Serializes a job list. Jobs built from a workload spec store the spec;
 /// jobs with a hand-built graph embed its .dfg text.

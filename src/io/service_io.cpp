@@ -1,0 +1,134 @@
+#include "io/service_io.hpp"
+
+#include <stdexcept>
+
+#include "io/result_io.hpp"
+
+namespace mpsched::service {
+
+namespace {
+
+std::uint64_t non_negative(const Json& v, const char* what) {
+  const std::int64_t raw = v.as_int();
+  if (raw < 0)
+    throw std::invalid_argument(std::string("request: ") + what + " must be >= 0");
+  return static_cast<std::uint64_t>(raw);
+}
+
+}  // namespace
+
+const char* to_text(Op op) {
+  switch (op) {
+    case Op::Ping: return "ping";
+    case Op::Submit: return "submit";
+    case Op::SubmitJob: return "submit_job";
+    case Op::Stats: return "stats";
+    case Op::CacheTrim: return "cache_trim";
+    case Op::Shutdown: return "shutdown";
+  }
+  return "ping";
+}
+
+Op op_from(const std::string& name) {
+  if (name == "ping") return Op::Ping;
+  if (name == "submit") return Op::Submit;
+  if (name == "submit_job") return Op::SubmitJob;
+  if (name == "stats") return Op::Stats;
+  if (name == "cache_trim") return Op::CacheTrim;
+  if (name == "shutdown") return Op::Shutdown;
+  throw std::invalid_argument("request: unknown op '" + name + "'");
+}
+
+Json request_to_json(const Request& request) {
+  Json doc = Json::object();
+  doc.set("op", to_text(request.op));
+  if (request.id != 0) doc.set("id", request.id);
+  switch (request.op) {
+    case Op::Submit:
+      doc.set("corpus", corpus_to_json(request.jobs));
+      if (request.diagnostics) doc.set("diagnostics", true);
+      break;
+    case Op::SubmitJob:
+      if (request.jobs.size() != 1)
+        throw std::invalid_argument("request: submit_job carries exactly one job");
+      doc.set("job", job_to_json(request.jobs.front()));
+      if (request.diagnostics) doc.set("diagnostics", true);
+      break;
+    case Op::CacheTrim:
+      if (request.trim_max_age_seconds != 0)
+        doc.set("max_age_seconds", request.trim_max_age_seconds);
+      if (request.trim_max_total_bytes != 0)
+        doc.set("max_total_bytes", request.trim_max_total_bytes);
+      break;
+    case Op::Ping:
+    case Op::Stats:
+    case Op::Shutdown: break;
+  }
+  return doc;
+}
+
+Request request_from_json(const Json& doc) {
+  if (!doc.is_object()) throw std::invalid_argument("request: expected a JSON object");
+  Request request;
+  request.op = op_from(doc.at("op").as_string());
+  if (const Json* id = doc.find("id")) request.id = id->as_int();
+
+  switch (request.op) {
+    case Op::Submit: {
+      reject_unknown_keys(doc, {"op", "id", "corpus", "diagnostics"}, "submit request");
+      request.jobs = corpus_from_json(doc.at("corpus"));
+      if (const Json* d = doc.find("diagnostics")) request.diagnostics = d->as_bool();
+      break;
+    }
+    case Op::SubmitJob: {
+      reject_unknown_keys(doc, {"op", "id", "job", "diagnostics"}, "submit_job request");
+      request.jobs.push_back(job_from_json(doc.at("job"), 0));
+      if (const Json* d = doc.find("diagnostics")) request.diagnostics = d->as_bool();
+      break;
+    }
+    case Op::CacheTrim: {
+      reject_unknown_keys(doc, {"op", "id", "max_age_seconds", "max_total_bytes"},
+                          "cache_trim request");
+      if (const Json* v = doc.find("max_age_seconds"))
+        request.trim_max_age_seconds = non_negative(*v, "max_age_seconds");
+      if (const Json* v = doc.find("max_total_bytes"))
+        request.trim_max_total_bytes = non_negative(*v, "max_total_bytes");
+      break;
+    }
+    case Op::Ping:
+    case Op::Stats:
+    case Op::Shutdown:
+      reject_unknown_keys(doc, {"op", "id"}, "request");
+      break;
+  }
+  return request;
+}
+
+Json make_ok(const Request& request) {
+  Json doc = Json::object();
+  doc.set("id", request.id);
+  doc.set("op", to_text(request.op));
+  doc.set("ok", true);
+  return doc;
+}
+
+Json make_error(std::int64_t id, const std::string& op, const std::string& message) {
+  Json doc = Json::object();
+  doc.set("id", id);
+  doc.set("op", op);
+  doc.set("ok", false);
+  doc.set("error", message);
+  return doc;
+}
+
+Response response_from_json(Json doc) {
+  Response response;
+  response.id = doc.at("id").as_int();
+  response.op = doc.at("op").as_string();
+  response.ok = doc.at("ok").as_bool();
+  if (const Json* e = doc.find("error")) response.error = e->as_string();
+  response.body = std::move(doc);
+  return response;
+}
+
+}  // namespace mpsched::service

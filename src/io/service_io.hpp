@@ -1,0 +1,90 @@
+// Request/response envelope of the mpsched service layer (src/service) on
+// top of io/json: newline-delimited JSON, one request object per line in,
+// one response object per line out. Shared by the server session loop,
+// the mpsched_client tool, and the service tests, so both ends agree on
+// one schema.
+//
+// Requests ({"op": ..., "id": ...}):
+//   ping                       liveness + protocol tag
+//   submit                     run a whole corpus ("corpus": corpus doc,
+//                              optional "diagnostics": bool)
+//   submit_job                 run a single job ("job": one corpus entry)
+//   stats                      engine/cache/server counter snapshot
+//   cache_trim                 age/size-based disk-cache maintenance
+//                              ("max_age_seconds" / "max_total_bytes",
+//                              0 = that limit disabled)
+//   shutdown                   graceful stop: in-flight work finishes,
+//                              every session drains, the socket unlinks
+//
+// Responses echo {"id", "op"} and carry "ok"; failures add "error",
+// successes add op-specific payload ("results" is a full
+// mpsched.batch.results/v1 document, byte-compatible with what
+// mpsched_batch --out writes — re-serializing it with the same indent
+// reproduces the one-shot file exactly).
+//
+// The envelope is strict the same way corpus files are: unknown ops and
+// unknown keys are rejected, so a typo'd request fails loudly instead of
+// half-running.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/job.hpp"
+#include "io/json.hpp"
+
+namespace mpsched::service {
+
+/// Protocol tag answered by ping (bump on breaking envelope changes).
+inline constexpr const char* kProtocol = "mpsched.serve/v1";
+
+enum class Op { Ping, Submit, SubmitJob, Stats, CacheTrim, Shutdown };
+
+/// Wire name of an op ("ping", "submit", ...).
+const char* to_text(Op op);
+/// Inverse of to_text; throws std::invalid_argument on an unknown name.
+Op op_from(const std::string& name);
+
+struct Request {
+  Op op = Op::Ping;
+  /// Client-chosen correlation id, echoed verbatim in the response.
+  std::int64_t id = 0;
+  /// Submit: the whole corpus. SubmitJob: exactly one entry.
+  std::vector<engine::Job> jobs;
+  /// Submit/SubmitJob: include per-phase timings + cache counters in the
+  /// results payload (off by default — diagnostics vary run to run).
+  bool diagnostics = false;
+  /// CacheTrim: 0 disables the respective limit.
+  std::uint64_t trim_max_age_seconds = 0;
+  std::uint64_t trim_max_total_bytes = 0;
+};
+
+/// Serializes a request to its wire object (client side).
+Json request_to_json(const Request& request);
+
+/// Parses and validates a request object; throws std::invalid_argument /
+/// std::runtime_error on unknown ops, unknown keys, or a missing/invalid
+/// payload for the op.
+Request request_from_json(const Json& doc);
+
+/// Parsed response envelope (client side). `body` keeps the whole
+/// response object so op-specific payload stays reachable.
+struct Response {
+  std::int64_t id = 0;
+  std::string op;
+  bool ok = false;
+  std::string error;  ///< set when !ok
+  Json body;
+};
+
+/// Envelope builders (server side). make_ok returns {"id","op","ok":true};
+/// the dispatcher set()s payload keys onto it.
+Json make_ok(const Request& request);
+Json make_error(std::int64_t id, const std::string& op, const std::string& message);
+
+/// Parses a response object; throws on a malformed envelope.
+Response response_from_json(Json doc);
+
+}  // namespace mpsched::service

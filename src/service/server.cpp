@@ -1,0 +1,469 @@
+#include "service/server.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <istream>
+#include <memory>
+#include <ostream>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+#include "engine/cache_store.hpp"
+#include "io/result_io.hpp"
+#include "service/wire.hpp"
+#include "util/strings.hpp"
+
+namespace mpsched::service {
+
+namespace {
+
+/// The server whose request_stop() the signal handlers invoke (the most
+/// recently installed one; cleared by its destructor).
+std::atomic<Server*> g_signal_server{nullptr};
+
+void signal_stop_handler(int) {
+  if (Server* server = g_signal_server.load(std::memory_order_acquire))
+    server->request_stop();
+}
+
+}  // namespace
+
+int open_listen_socket(const std::string& path) {
+#ifdef _WIN32
+  (void)path;
+  throw std::runtime_error("serve: Unix-domain sockets are not supported on this platform");
+#else
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path))
+    throw std::runtime_error("serve: socket path '" + path + "' is empty or longer than " +
+                             std::to_string(sizeof(addr.sun_path) - 1) + " bytes");
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  // A leftover socket file from a crashed daemon would make bind() fail
+  // forever. Probe it: if something accepts, a live server owns the path
+  // (refuse); if the connect is refused AND the path really is a socket,
+  // the file is stale (replace). The is_socket check matters — connect()
+  // to a regular file also fails with ECONNREFUSED, and a typo'd --socket
+  // must not delete the user's file.
+  std::error_code ec;
+  if (std::filesystem::exists(path, ec)) {
+    if (!std::filesystem::is_socket(path, ec))
+      throw std::runtime_error("serve: '" + path + "' exists and is not a socket");
+    const int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (probe >= 0) {
+      const int rc =
+          ::connect(probe, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr));
+      const int err = errno;
+      ::close(probe);
+      if (rc == 0)
+        throw std::runtime_error("serve: '" + path + "' is already being served");
+      if (err == ECONNREFUSED) ::unlink(path.c_str());
+    }
+  }
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw std::runtime_error("serve: cannot create socket");
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    throw std::runtime_error("serve: cannot bind '" + path + "': " + message);
+  }
+  if (::listen(fd, 64) != 0) {
+    const std::string message = std::strerror(errno);
+    ::close(fd);
+    ::unlink(path.c_str());
+    throw std::runtime_error("serve: cannot listen on '" + path + "': " + message);
+  }
+  return fd;
+#endif
+}
+
+Server::Server(ServerOptions options)
+    : options_(std::move(options)), engine_(options_.engine) {
+#ifndef _WIN32
+  if (::pipe(stop_pipe_) != 0)
+    throw std::runtime_error("serve: cannot create the stop pipe");
+  for (const int fd : stop_pipe_) ::fcntl(fd, F_SETFD, FD_CLOEXEC);
+  ::fcntl(stop_pipe_[1], F_SETFL, O_NONBLOCK);
+#endif
+}
+
+Server::~Server() {
+  // If this server's handlers are installed, restore the default
+  // disposition *before* clearing the pointer — a signal delivered after
+  // this point must not run a handler that could dereference a
+  // half-destroyed server or write to a recycled pipe fd.
+  if (g_signal_server.load(std::memory_order_acquire) == this) {
+#ifdef _WIN32
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+#else
+    struct sigaction action{};
+    action.sa_handler = SIG_DFL;
+    sigemptyset(&action.sa_mask);
+    ::sigaction(SIGINT, &action, nullptr);
+    ::sigaction(SIGTERM, &action, nullptr);
+#endif
+    Server* self = this;
+    g_signal_server.compare_exchange_strong(self, nullptr);
+  }
+#ifndef _WIN32
+  for (int& fd : stop_pipe_)
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+#endif
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard lock(counters_mutex_);
+  return counters_;
+}
+
+void Server::request_stop() noexcept {
+  stop_.store(true, std::memory_order_release);
+#ifndef _WIN32
+  if (stop_pipe_[1] >= 0) {
+    // One byte wakes every poller forever — the read end is never
+    // drained, so the pipe stays readable once stop is requested.
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(stop_pipe_[1], &byte, 1);
+  }
+#endif
+}
+
+void Server::install_signal_handlers() {
+  g_signal_server.store(this, std::memory_order_release);
+#ifdef _WIN32
+  std::signal(SIGINT, signal_stop_handler);
+  std::signal(SIGTERM, signal_stop_handler);
+#else
+  struct sigaction action{};
+  action.sa_handler = signal_stop_handler;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: blocking reads must wake up
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+#endif
+}
+
+Json Server::handle(const Request& request) {
+  try {
+    switch (request.op) {
+      case Op::Ping: {
+        Json response = make_ok(request);
+        response.set("protocol", kProtocol);
+        return response;
+      }
+
+      case Op::Submit:
+      case Op::SubmitJob: {
+        // The wire path (request_from_json) guarantees this, but handle()
+        // is public — an in-process caller's hand-built submit_job must
+        // not reach jobs.front() on an empty batch.
+        if (request.op == Op::SubmitJob && request.jobs.size() != 1)
+          return make_error(request.id, to_text(request.op),
+                            "submit_job carries exactly one job");
+        engine::BatchResult batch;
+        {
+          // One batch at a time: each batch already saturates the pool,
+          // and serialized dispatch keeps intra-batch dedup effective.
+          std::lock_guard lock(engine_mutex_);
+          batch = engine_.run_batch(request.jobs);
+        }
+        Json response = make_ok(request);
+        if (request.op == Op::Submit)
+          response.set("results", batch_to_json(batch, request.diagnostics));
+        else
+          response.set("result", result_to_json(batch.jobs.front(), request.diagnostics));
+        response.set("analyses_computed", batch.analyses_computed);
+        response.set("analyses_reused", batch.analyses_reused);
+        return response;
+      }
+
+      case Op::Stats: {
+        const engine::EngineStats stats = engine_.stats();
+        Json eng = Json::object();
+        eng.set("batches", stats.batches);
+        eng.set("jobs", stats.jobs);
+        eng.set("jobs_succeeded", stats.jobs_succeeded);
+        eng.set("analyses_computed", stats.analyses_computed);
+        eng.set("analyses_reused", stats.analyses_reused);
+        Json cache = Json::object();
+        cache.set("graph_hits", stats.cache.graph_hits);
+        cache.set("graph_misses", stats.cache.graph_misses);
+        cache.set("analysis_hits", stats.cache.analysis_hits);
+        cache.set("analysis_misses", stats.cache.analysis_misses);
+        cache.set("analyses_in_memory", engine_.cache().analysis_count());
+        const ServerCounters server_counters = counters();
+        Json server = Json::object();
+        server.set("requests", server_counters.requests);
+        server.set("errors", server_counters.errors);
+        server.set("sessions", server_counters.sessions);
+
+        Json response = make_ok(request);
+        response.set("engine", std::move(eng));
+        response.set("cache", std::move(cache));
+        if (const engine::CacheStore* store = engine_.cache().disk_store()) {
+          const engine::CacheStoreStats disk_stats = store->stats();
+          Json disk = Json::object();
+          disk.set("directory", store->directory());
+          disk.set("entries", store->entry_count());
+          disk.set("hits", disk_stats.disk_hits);
+          disk.set("misses", disk_stats.disk_misses);
+          disk.set("corrupt", disk_stats.disk_corrupt);
+          disk.set("stores", disk_stats.disk_stores);
+          disk.set("temp_swept", disk_stats.temp_swept);
+          response.set("disk", std::move(disk));
+        }
+        response.set("server", std::move(server));
+        return response;
+      }
+
+      case Op::CacheTrim: {
+        engine::CacheStore* store = engine_.cache().disk_store();
+        if (store == nullptr)
+          return make_error(request.id, to_text(request.op),
+                            "no cache directory attached (start the server with --cache-dir)");
+        engine::TrimOptions trim_options;
+        trim_options.max_age_seconds = request.trim_max_age_seconds;
+        trim_options.max_total_bytes = request.trim_max_total_bytes;
+        const engine::TrimResult trimmed = store->trim(trim_options);
+        Json response = make_ok(request);
+        response.set("entries_removed", trimmed.entries_removed);
+        response.set("bytes_removed", trimmed.bytes_removed);
+        response.set("entries_kept", trimmed.entries_kept);
+        response.set("bytes_kept", trimmed.bytes_kept);
+        response.set("temp_swept", trimmed.temp_swept);
+        return response;
+      }
+
+      case Op::Shutdown: {
+        // The response is built first and the stop is requested after, so
+        // the requesting session still gets its acknowledgement before
+        // every session (including this one) drains.
+        Json response = make_ok(request);
+        request_stop();
+        return response;
+      }
+    }
+    return make_error(request.id, "unknown", "unhandled op");
+  } catch (const std::exception& e) {
+    return make_error(request.id, to_text(request.op), e.what());
+  }
+}
+
+Json Server::handle_line(std::string_view line) {
+  Json response;
+  try {
+    const Json doc = Json::parse(line);
+    Request request;
+    try {
+      request = request_from_json(doc);
+    } catch (const std::exception& e) {
+      // Malformed request, parseable envelope: echo what we can.
+      std::int64_t id = 0;
+      std::string op = "unknown";
+      if (doc.is_object()) {
+        if (const Json* v = doc.find("id"); v != nullptr && v->is_int()) id = v->as_int();
+        if (const Json* v = doc.find("op"); v != nullptr && v->is_string())
+          op = v->as_string();
+      }
+      response = make_error(id, op, e.what());
+    }
+    if (response.is_null()) response = handle(request);
+  } catch (const std::exception& e) {
+    response = make_error(0, "unknown", std::string("bad request line: ") + e.what());
+  }
+  {
+    std::lock_guard lock(counters_mutex_);
+    ++counters_.requests;
+    if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool())
+      ++counters_.errors;
+  }
+  return response;
+}
+
+void Server::serve_stream(std::istream& in, std::ostream& out) {
+  {
+    std::lock_guard lock(counters_mutex_);
+    ++counters_.sessions;
+  }
+  std::string line;
+  while (!stop_requested() && std::getline(in, line)) {
+    if (trim(line).empty()) continue;
+    out << handle_line(line).dump(-1) << '\n' << std::flush;
+  }
+}
+
+#ifdef _WIN32
+
+void Server::serve_socket() {
+  throw std::runtime_error("serve: Unix-domain sockets are not supported on this platform");
+}
+
+void Server::session(int, bool) {}
+
+#else
+
+void Server::session(int fd, bool single_request) {
+  // Request lines are bounded: a client streaming gigabytes with no
+  // newline must not grow the daemon without limit (the shared engine
+  // serves every client). 64 MiB comfortably fits any real corpus line.
+  constexpr std::size_t kMaxLineBytes = 64u << 20;
+  // Degraded (at-capacity) sessions run inline on the accept loop, so a
+  // slow or idle client must not wedge it: the whole single request must
+  // arrive by a fixed deadline (a deadline, not a per-poll timeout —
+  // trickling one byte at a time must not reset the clock).
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  std::string buffer;
+  std::size_t scan_from = 0;  // newline search resumes where it left off
+  while (!stop_requested()) {
+    const std::size_t newline = buffer.find('\n', scan_from);
+    if (newline == std::string::npos) {
+      scan_from = buffer.size();
+      if (buffer.size() > kMaxLineBytes) {
+        send_all(fd, make_error(0, "unknown",
+                                "request line exceeds " +
+                                    std::to_string(kMaxLineBytes) + " bytes")
+                             .dump(-1) +
+                         "\n");
+        break;
+      }
+      int poll_timeout_ms = -1;
+      if (single_request) {
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - std::chrono::steady_clock::now());
+        if (remaining.count() <= 0) break;  // single-request read timed out
+        poll_timeout_ms = static_cast<int>(remaining.count());
+      }
+      pollfd fds[2] = {{fd, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+      const int rc = ::poll(fds, 2, poll_timeout_ms);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      if (rc == 0) break;  // single-request read timed out
+      if (stop_requested()) break;
+      if ((fds[0].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      char chunk[4096];
+      const ssize_t n = ::read(fd, chunk, sizeof chunk);
+      if (n <= 0) break;  // client hung up (or error): session over
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    const std::string line = buffer.substr(0, newline);
+    buffer.erase(0, newline + 1);
+    scan_from = 0;
+    if (trim(line).empty()) continue;
+    // In-flight guarantee: once a request is being handled it runs to
+    // completion and its response is flushed, stop or no stop; the loop
+    // condition only gates picking up the *next* request.
+    if (!send_all(fd, handle_line(line).dump(-1) + "\n")) break;
+    if (single_request) break;
+  }
+  ::close(fd);
+}
+
+void Server::serve_socket() {
+  if (listen_fd_ < 0) listen_fd_ = open_listen_socket(options_.socket_path);
+
+  struct SessionHandle {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<SessionHandle> sessions;
+  const auto reap = [&sessions](bool join_all) {
+    for (auto it = sessions.begin(); it != sessions.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = sessions.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!stop_requested()) {
+    pollfd fds[2] = {{listen_fd_, POLLIN, 0}, {stop_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stop_requested()) break;
+    // POLLERR/POLLHUP fall through to accept(), whose failure breaks the
+    // loop — `continue` on them would spin at 100% CPU (poll returns
+    // immediately with the same revents forever).
+    if ((fds[0].revents & (POLLIN | POLLERR | POLLHUP)) == 0) continue;
+    const int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    ::fcntl(client, F_SETFD, FD_CLOEXEC);
+    {
+      std::lock_guard lock(counters_mutex_);
+      ++counters_.sessions;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    sessions.push_back({std::thread([this, client, done] {
+                          session(client);
+                          done->store(true, std::memory_order_release);
+                        }),
+                        done});
+    reap(false);
+    while (sessions.size() >= options_.max_sessions && !stop_requested()) {
+      // Saturated: apply backpressure until a session finishes (50 ms
+      // naps, woken early by the stop pipe). New connections are still
+      // served — inline, one request each — so control ops (ping, stats,
+      // and above all shutdown) stay reachable when every slot is held
+      // by an idle client.
+      pollfd fds[2] = {{stop_pipe_[0], POLLIN, 0}, {listen_fd_, POLLIN, 0}};
+      ::poll(fds, 2, 50);
+      reap(false);
+      if (stop_requested() || sessions.size() < options_.max_sessions) break;
+      if ((fds[1].revents & POLLIN) != 0) {
+        const int extra = ::accept(listen_fd_, nullptr, nullptr);
+        if (extra >= 0) {
+          ::fcntl(extra, F_SETFD, FD_CLOEXEC);
+          {
+            std::lock_guard lock(counters_mutex_);
+            ++counters_.sessions;
+          }
+          session(extra, /*single_request=*/true);
+        }
+      }
+    }
+  }
+
+  // Graceful drain: make stop visible to every session before joining —
+  // the accept loop can also get here via its own error paths (poll or
+  // accept failing), where the flag is not yet set and idle sessions
+  // would otherwise block in poll forever.
+  request_stop();
+  reap(true);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(options_.socket_path.c_str());
+}
+
+#endif  // _WIN32
+
+}  // namespace mpsched::service

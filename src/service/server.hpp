@@ -1,0 +1,131 @@
+// Long-running service front end over the batch engine (ROADMAP's
+// service/API item): one process, one Engine, many requests — the
+// in-memory AnalysisCache and the --cache-dir disk tier stay warm across
+// submissions, so repeated corpora are answered without recomputing a
+// single analysis.
+//
+// Transport is deliberately boring: newline-delimited JSON
+// (io/service_io), served either on an arbitrary istream/ostream pair
+// (stdin/stdout for `mpsched_serve --stdio`, stringstreams in tests) or
+// on a Unix-domain socket with one thread per connected client.
+//
+// Concurrency story: sessions run concurrently, the engine executes one
+// batch at a time (an internal mutex serializes Submit dispatch — each
+// batch already fans out over every pool worker, so interleaving two
+// batches would only thrash), and the cache underneath is fully
+// thread-safe. Results are the engine's: byte-identical to what a
+// one-shot mpsched_batch run would produce for the same corpus.
+//
+// Shutdown story: a shutdown request, SIGINT or SIGTERM (see
+// install_signal_handlers) sets a stop flag and pokes a self-pipe every
+// blocked poll() watches. In-flight requests finish and their responses
+// are flushed, sessions drain, the listener closes, and the socket file
+// is unlinked — no half-written responses, no orphaned cache temp files.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "io/service_io.hpp"
+
+namespace mpsched::service {
+
+struct ServerOptions {
+  /// Engine configuration (threads, cache, cache_dir, shard policy).
+  engine::EngineOptions engine;
+  /// Socket path for serve_socket(). Unix-domain socket paths are
+  /// length-limited (~107 bytes); open_listen_socket rejects longer ones.
+  std::string socket_path;
+  /// Concurrent socket sessions. At capacity the server degrades instead
+  /// of refusing: extra connections are served inline on the accept
+  /// loop, one request per connection with a bounded wait — so control
+  /// ops (ping, stats, shutdown) stay reachable even when every slot is
+  /// held by an idle client.
+  std::size_t max_sessions = 16;
+};
+
+/// Monotone service-level counters (snapshot via counters()).
+struct ServerCounters {
+  std::uint64_t requests = 0;  ///< lines dispatched (including failed ones)
+  std::uint64_t errors = 0;    ///< responses with ok=false
+  std::uint64_t sessions = 0;  ///< sessions ever started (stream or socket)
+};
+
+/// Creates, binds and listens on a Unix-domain socket, replacing a stale
+/// socket file (bind target exists but nothing accepts) and refusing a
+/// live one. A free function so a daemonizing front end can bind before
+/// it forks — the listening fd survives fork, the Server (and the
+/// engine's thread pool) is then constructed in the child only. Throws
+/// std::runtime_error.
+int open_listen_socket(const std::string& path);
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  engine::Engine& engine() { return engine_; }
+  const ServerOptions& options() const noexcept { return options_; }
+  ServerCounters counters() const;
+
+  /// Dispatches one parsed request and returns the response document.
+  /// Thread-safe. Never throws for request-level failures — those come
+  /// back as {"ok":false,"error":...} responses.
+  Json handle(const Request& request);
+
+  /// Parses one NDJSON line and dispatches it. Malformed lines yield an
+  /// error response instead of throwing — one bad request must not kill
+  /// the session.
+  Json handle_line(std::string_view line);
+
+  /// Serves one session on [in, out]: one response line per request
+  /// line. Returns on end-of-stream, after a shutdown request, or when
+  /// stop was requested between requests.
+  void serve_stream(std::istream& in, std::ostream& out);
+
+  /// Accept loop on the Unix socket (options().socket_path, or a
+  /// pre-bound fd passed via adopt_socket). Spawns one session thread
+  /// per client, joins them all on stop, closes the listener and unlinks
+  /// the socket file before returning.
+  void serve_socket();
+
+  /// Hands serve_socket() an already-listening fd (see
+  /// open_listen_socket); must be called before serve_socket().
+  void adopt_socket(int listen_fd) noexcept { listen_fd_ = listen_fd; }
+
+  /// Requests a graceful stop. Async-signal-safe: an atomic store plus a
+  /// self-pipe write, so signal handlers may call it directly.
+  void request_stop() noexcept;
+  bool stop_requested() const noexcept {
+    return stop_.load(std::memory_order_acquire);
+  }
+
+  /// Routes SIGINT/SIGTERM to request_stop() on this server (the most
+  /// recently installed server wins; handlers are installed without
+  /// SA_RESTART so a blocking stdio read returns and the session loop
+  /// can observe the stop).
+  void install_signal_handlers();
+
+ private:
+  /// One socket session. `single_request` is the at-capacity degraded
+  /// mode: serve exactly one request (bounded wait), then close.
+  void session(int fd, bool single_request = false);
+
+  ServerOptions options_;
+  engine::Engine engine_;
+  std::mutex engine_mutex_;  ///< serializes Submit/SubmitJob batches
+  mutable std::mutex counters_mutex_;
+  ServerCounters counters_;
+  std::atomic<bool> stop_{false};
+  int stop_pipe_[2] = {-1, -1};  ///< [read, write]; write side never drained
+  int listen_fd_ = -1;
+};
+
+}  // namespace mpsched::service

@@ -2,8 +2,8 @@
 
 #include <cctype>
 #include <charconv>
-
-#include "util/require.hpp"
+#include <limits>
+#include <stdexcept>
 
 namespace mpsched {
 
@@ -53,11 +53,21 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
 }
 
 std::size_t parse_size(std::string_view s) {
+  return parse_size(s, std::numeric_limits<std::size_t>::max());
+}
+
+std::size_t parse_size(std::string_view s, std::size_t max_value) {
   s = trim(s);
   std::size_t value = 0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
-  MPSCHED_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
-                  "expected a non-negative integer, got '" + std::string(s) + "'");
+  // from_chars yields errc{}, invalid_argument, or result_out_of_range.
+  const bool parsed = ptr == s.data() + s.size() && !s.empty();
+  if (!parsed || ec == std::errc::invalid_argument)
+    throw std::invalid_argument("expected a non-negative integer, got '" +
+                                std::string(s) + "'");
+  if (ec == std::errc::result_out_of_range || value > max_value)
+    throw std::invalid_argument("value " + std::string(s) + " is out of range (max " +
+                                std::to_string(max_value) + ")");
   return value;
 }
 

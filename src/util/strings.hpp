@@ -25,4 +25,10 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep);
 /// Parses a non-negative integer; throws std::invalid_argument on junk.
 std::size_t parse_size(std::string_view s);
 
+/// Bounds-checked variant for CLI flags: rejects junk, signs, values
+/// above `max_value`, and anything that would overflow size_t, always
+/// with a clean std::invalid_argument naming the accepted range — never
+/// UB or a silent wraparound.
+std::size_t parse_size(std::string_view s, std::size_t max_value);
+
 }  // namespace mpsched

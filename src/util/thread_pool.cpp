@@ -7,6 +7,11 @@
 namespace mpsched {
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
+  // A wild thread count (a mis-parsed CLI flag, an overflowed size) must
+  // fail as a bad argument, not as resource exhaustion mid-construction.
+  MPSCHED_REQUIRE(n_threads <= kMaxThreads,
+                  "thread count " + std::to_string(n_threads) + " exceeds the maximum of " +
+                      std::to_string(kMaxThreads));
   if (n_threads == 0) {
     n_threads = std::thread::hardware_concurrency();
     if (n_threads == 0) n_threads = 1;

@@ -20,7 +20,13 @@ namespace mpsched {
 
 class ThreadPool {
  public:
+  /// Hard ceiling on workers per pool; requests above it are a
+  /// precondition violation (std::invalid_argument), never an attempt to
+  /// actually spawn them.
+  static constexpr std::size_t kMaxThreads = 4096;
+
   /// Creates `n_threads` workers; 0 means std::thread::hardware_concurrency().
+  /// Throws std::invalid_argument when n_threads > kMaxThreads.
   explicit ThreadPool(std::size_t n_threads = 0);
   ~ThreadPool();
 

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 
@@ -266,6 +267,97 @@ TEST_F(CacheStoreTest, UnusableDirectoryIsAnError) {
   EngineOptions options;
   options.cache_dir = file.string();
   EXPECT_THROW(Engine{std::move(options)}, std::runtime_error);
+}
+
+/// Backdates a file's mtime by `seconds`.
+void age_file(const fs::path& path, std::uint64_t seconds) {
+  fs::last_write_time(path, fs::last_write_time(path) - std::chrono::seconds(seconds));
+}
+
+TEST_F(CacheStoreTest, OrphanTempFilesAreSweptOnOpen) {
+  // A process killed between temp write and atomic rename leaves
+  // tmp-<pid>-<seq>-<key>.mpa debris behind. Plant two stale orphans and
+  // one fresh temp (a live writer elsewhere): opening the store must
+  // reclaim the stale ones only.
+  // A committed entry must be untouched by the sweep.
+  CacheStore writer(dir());
+  const CacheKey key{0x1234, 0x5678};
+  writer.store(key, analysis_of(test::random_dag(31)));
+  ASSERT_EQ(writer.entry_count(), 1u);
+
+  const std::string key_hex(32, 'a');
+  const fs::path stale1 = fs::path(dir()) / ("tmp-999-1-" + key_hex + ".mpa");
+  const fs::path stale2 = fs::path(dir()) / ("tmp-999-2-" + key_hex + ".mpa");
+  const fs::path fresh = fs::path(dir()) / ("tmp-999-3-" + key_hex + ".mpa");
+  for (const fs::path& p : {stale1, stale2, fresh}) std::ofstream(p) << "partial write";
+  age_file(stale1, 2 * CacheStore::kOrphanTempAgeSeconds);
+  age_file(stale2, CacheStore::kOrphanTempAgeSeconds + 60);
+
+  CacheStore reopened(dir());
+  EXPECT_FALSE(fs::exists(stale1));
+  EXPECT_FALSE(fs::exists(stale2));
+  EXPECT_TRUE(fs::exists(fresh));
+  EXPECT_EQ(reopened.entry_count(), 1u);
+  EXPECT_EQ(reopened.stats().temp_swept, 2u);
+  EXPECT_NE(reopened.load(key), nullptr);
+}
+
+TEST_F(CacheStoreTest, TrimByAgeRemovesOnlyStaleEntries) {
+  CacheStore store(dir());
+  const CacheKey old_key{1, 1}, new_key{2, 2};
+  store.store(old_key, analysis_of(test::random_dag(41)));
+  store.store(new_key, analysis_of(test::random_dag(42)));
+  age_file(fs::path(dir()) / CacheStore::entry_filename(old_key), 7200);
+
+  engine::TrimOptions options;
+  options.max_age_seconds = 3600;
+  const engine::TrimResult r = store.trim(options);
+  EXPECT_EQ(r.entries_removed, 1u);
+  EXPECT_EQ(r.entries_kept, 1u);
+  EXPECT_GT(r.bytes_removed, 0u);
+  EXPECT_EQ(store.load(old_key), nullptr);   // trimmed: a miss again
+  EXPECT_NE(store.load(new_key), nullptr);   // kept: still served
+}
+
+TEST_F(CacheStoreTest, TrimBySizeEvictsOldestFirst) {
+  CacheStore store(dir());
+  const CacheKey oldest{1, 0}, middle{2, 0}, newest{3, 0};
+  std::uint64_t entry_bytes = 0;
+  for (const auto& [key, age] :
+       {std::pair{oldest, std::uint64_t{3000}}, {middle, 2000}, {newest, 0}}) {
+    store.store(key, analysis_of(test::random_dag(51)));
+    const fs::path path = fs::path(dir()) / CacheStore::entry_filename(key);
+    entry_bytes = fs::file_size(path);
+    if (age > 0) age_file(path, age);
+  }
+
+  // Cap to two entries' worth: only the oldest is evicted.
+  engine::TrimOptions options;
+  options.max_total_bytes = 2 * entry_bytes;
+  engine::TrimResult r = store.trim(options);
+  EXPECT_EQ(r.entries_removed, 1u);
+  EXPECT_EQ(store.load(oldest), nullptr);
+  EXPECT_NE(store.load(middle), nullptr);
+  EXPECT_NE(store.load(newest), nullptr);
+
+  // Cap below one entry: everything goes, and the store keeps working.
+  options.max_total_bytes = 1;
+  r = store.trim(options);
+  EXPECT_EQ(r.entries_removed, 2u);
+  EXPECT_EQ(r.entries_kept, 0u);
+  EXPECT_EQ(r.bytes_kept, 0u);
+  EXPECT_EQ(store.entry_count(), 0u);
+  store.store(newest, analysis_of(test::random_dag(51)));
+  EXPECT_NE(store.load(newest), nullptr);
+}
+
+TEST_F(CacheStoreTest, TrimWithNoLimitsOnlySweepsTemps) {
+  CacheStore store(dir());
+  store.store(CacheKey{9, 9}, analysis_of(test::random_dag(61)));
+  const engine::TrimResult r = store.trim(engine::TrimOptions{});
+  EXPECT_EQ(r.entries_removed, 0u);
+  EXPECT_EQ(r.entries_kept, 1u);
+  EXPECT_GT(r.bytes_kept, 0u);
 }
 
 TEST_F(CacheStoreTest, CacheDirWithCacheDisabledIsAnError) {

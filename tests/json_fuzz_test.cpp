@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -170,6 +172,51 @@ TEST(JsonFuzz, HostileScalarsSurvive) {
            "\"unterminated", "\"bad \\q escape\"", "nan", "inf", "-inf",
        })
     expect_parse_survives(text);
+}
+
+TEST(JsonFuzz, NonFiniteDoublesAreRejectedDeterministically) {
+  // JSON has no NaN/Infinity literals; emitting one would produce a
+  // document nothing (including our own parser) can read back. The
+  // writer's pinned behavior: serialization throws std::runtime_error —
+  // bare, nested, pretty or compact — and never emits partial output
+  // through save_json.
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  for (const double hostile : {nan, inf, -inf}) {
+    EXPECT_THROW((void)Json(hostile).dump(), std::runtime_error);
+    EXPECT_THROW((void)Json(hostile).dump(2), std::runtime_error);
+
+    Json arr = Json::array();
+    arr.push_back(1);
+    arr.push_back(hostile);
+    EXPECT_THROW((void)arr.dump(-1), std::runtime_error);
+
+    Json nested = Json::object();
+    nested.set("deep", [&] {
+      Json inner = Json::object();
+      inner.set("value", hostile);
+      return inner;
+    }());
+    EXPECT_THROW((void)nested.dump(2), std::runtime_error);
+
+    // save_json must not leave a truncated or empty file behind.
+    const std::string path = "json_fuzz_nonfinite.tmp.json";
+    std::filesystem::remove(path);
+    EXPECT_THROW(save_json(nested, path), std::runtime_error);
+    EXPECT_FALSE(std::filesystem::exists(path));
+  }
+
+  // Finite doubles — including extremes — still serialize and round-trip.
+  // (Subnormals are excluded: std::stod may legitimately report underflow
+  // as out-of-range, which the parser surfaces as a parse error.)
+  for (const double fine : {0.0, -0.0, 1e308, -1e308, 2.2250738585072014e-308}) {
+    const std::string dumped = Json(fine).dump();
+    EXPECT_EQ(Json::parse(dumped).as_double(), fine);
+  }
+
+  // And the parser rejects the non-finite spellings other writers emit.
+  for (const char* text : {"NaN", "Infinity", "-Infinity", "[NaN]", "{\"x\":Infinity}"})
+    EXPECT_THROW((void)Json::parse(text), std::invalid_argument) << text;
 }
 
 TEST(JsonFuzz, ParserAcceptanceImpliesSerializability) {

@@ -1,0 +1,369 @@
+// The service layer (io/service_io + src/service): envelope round-trips
+// and strict validation, stream sessions, Unix-socket sessions with
+// concurrent clients, warm-engine reuse across requests (the serve-mode
+// contract: a repeated corpus recomputes nothing and byte-matches the
+// one-shot batch output), cache-trim over the protocol, and graceful
+// SIGINT shutdown that leaves no socket file and no cache temp debris.
+#include "service/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "engine/cache_store.hpp"
+#include "io/result_io.hpp"
+#include "service/client.hpp"
+#include "test_util.hpp"
+#include "util/strings.hpp"
+
+namespace mpsched {
+namespace {
+
+namespace fs = std::filesystem;
+
+using engine::Job;
+using service::Client;
+using service::Op;
+using service::Request;
+using service::Response;
+using service::Server;
+using service::ServerOptions;
+
+/// Small mixed corpus with a duplicate, so reuse counters move.
+std::vector<Job> small_corpus() {
+  std::vector<Job> jobs;
+  jobs.push_back(Job::from_workload("small_example"));
+  jobs.push_back(Job::from_workload("paper_3dft"));
+  jobs.push_back(Job::from_workload("small_example"));
+  return jobs;
+}
+
+/// Per-test scratch dir + short relative socket path (sun_path is
+/// length-limited, and ctest runs every case from the build dir).
+class ServiceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    dir_ = fs::path("service_test.tmp") / name;
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    socket_ = (dir_ / "s.sock").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string dir() const { return dir_.string(); }
+  std::string cache_dir() const { return (dir_ / "cache").string(); }
+
+  fs::path dir_;
+  std::string socket_;
+};
+
+TEST_F(ServiceTest, RequestRoundTripIsAFixpoint) {
+  std::vector<Request> requests;
+  requests.push_back({});  // ping, id 0
+  Request submit;
+  submit.op = Op::Submit;
+  submit.id = 42;
+  submit.jobs = small_corpus();
+  submit.diagnostics = true;
+  requests.push_back(std::move(submit));
+  Request one;
+  one.op = Op::SubmitJob;
+  one.id = 7;
+  one.jobs.push_back(Job::from_workload("small_example"));
+  requests.push_back(std::move(one));
+  Request trim;
+  trim.op = Op::CacheTrim;
+  trim.trim_max_age_seconds = 60;
+  trim.trim_max_total_bytes = 1 << 20;
+  requests.push_back(trim);
+  Request stats;
+  stats.op = Op::Stats;
+  requests.push_back(stats);
+  Request shutdown;
+  shutdown.op = Op::Shutdown;
+  shutdown.id = 99;
+  requests.push_back(shutdown);
+
+  for (const Request& request : requests) {
+    const Json wire = service::request_to_json(request);
+    const Request reparsed = service::request_from_json(Json::parse(wire.dump(-1)));
+    EXPECT_EQ(service::request_to_json(reparsed).dump(-1), wire.dump(-1))
+        << "op " << service::to_text(request.op);
+    EXPECT_EQ(reparsed.id, request.id);
+    EXPECT_EQ(reparsed.jobs.size(), request.jobs.size());
+  }
+}
+
+TEST_F(ServiceTest, MalformedRequestsAreRejected) {
+  const auto rejected = [](const char* text) {
+    try {
+      (void)service::request_from_json(Json::parse(text));
+      return false;
+    } catch (const std::exception&) {
+      return true;
+    }
+  };
+  EXPECT_TRUE(rejected("{}"));                             // no op
+  EXPECT_TRUE(rejected("{\"op\":\"warp\"}"));              // unknown op
+  EXPECT_TRUE(rejected("{\"op\":\"submit\"}"));            // submit sans corpus
+  EXPECT_TRUE(rejected("{\"op\":\"ping\",\"x\":1}"));      // unknown key
+  EXPECT_TRUE(rejected("{\"op\":\"ping\",\"id\":\"a\"}")); // non-integer id
+  EXPECT_TRUE(rejected("{\"op\":\"cache_trim\",\"max_age_seconds\":-5}"));
+  EXPECT_TRUE(rejected("[\"op\",\"ping\"]"));              // not an object
+}
+
+TEST_F(ServiceTest, SubmitMatchesOneShotBatchByteForByte) {
+  const std::vector<Job> jobs = small_corpus();
+  engine::Engine reference;
+  const std::string expected = batch_to_json(reference.run_batch(jobs)).dump(2);
+
+  Server server(ServerOptions{});
+  Request request;
+  request.op = Op::Submit;
+  request.id = 1;
+  request.jobs = jobs;
+
+  const Json first = server.handle(request);
+  EXPECT_TRUE(first.at("ok").as_bool());
+  EXPECT_EQ(first.at("results").dump(2), expected);
+  EXPECT_GT(first.at("analyses_computed").as_int(), 0);
+
+  // Warm engine: the same corpus a second time recomputes nothing and
+  // serializes byte-identically — the serve-mode contract.
+  const Json second = server.handle(request);
+  EXPECT_TRUE(second.at("ok").as_bool());
+  EXPECT_EQ(second.at("analyses_computed").as_int(), 0);
+  EXPECT_EQ(second.at("results").dump(2), expected);
+
+  const engine::EngineStats stats = server.engine().stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.jobs, 2 * jobs.size());
+  EXPECT_EQ(stats.jobs_succeeded, 2 * jobs.size());
+}
+
+TEST_F(ServiceTest, SubmitJobReturnsOneResult) {
+  Server server(ServerOptions{});
+  Request request;
+  request.op = Op::SubmitJob;
+  request.id = 5;
+  request.jobs.push_back(Job::from_workload("small_example"));
+
+  engine::Engine reference;
+  const std::string expected =
+      result_to_json(reference.run(Job::from_workload("small_example"))).dump(-1);
+
+  const Json response = server.handle(request);
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("result").dump(-1), expected);
+}
+
+TEST_F(ServiceTest, StreamSessionServesPingSubmitStatsShutdown) {
+  Server server(ServerOptions{});
+  std::ostringstream requests;
+  requests << "{\"op\":\"ping\",\"id\":1}\n";
+  requests << "this is not json\n";  // must not kill the session
+  requests << service::request_to_json([] {
+                Request r;
+                r.op = Op::Submit;
+                r.id = 2;
+                r.jobs = small_corpus();
+                return r;
+              }())
+                  .dump(-1)
+           << "\n";
+  requests << "\n";  // blank lines are ignored
+  requests << "{\"op\":\"stats\",\"id\":3}\n";
+  requests << "{\"op\":\"shutdown\",\"id\":4}\n";
+  requests << "{\"op\":\"ping\",\"id\":5}\n";  // after shutdown: not served
+
+  std::istringstream in(requests.str());
+  std::ostringstream out;
+  server.serve_stream(in, out);
+  EXPECT_TRUE(server.stop_requested());
+
+  std::vector<Response> responses;
+  for (const std::string& line : split(out.str(), '\n'))
+    if (!trim(line).empty())
+      responses.push_back(service::response_from_json(Json::parse(line)));
+  ASSERT_EQ(responses.size(), 5u);  // ping, error, submit, stats, shutdown
+  EXPECT_TRUE(responses[0].ok);
+  EXPECT_EQ(responses[0].body.at("protocol").as_string(), service::kProtocol);
+  EXPECT_FALSE(responses[1].ok);
+  EXPECT_FALSE(responses[1].error.empty());
+  EXPECT_TRUE(responses[2].ok);
+  EXPECT_EQ(responses[2].id, 2);
+  EXPECT_TRUE(responses[3].ok);
+  EXPECT_EQ(responses[3].body.at("engine").at("batches").as_int(), 1);
+  EXPECT_TRUE(responses[4].ok);
+  EXPECT_EQ(responses[4].op, "shutdown");
+
+  const service::ServerCounters counters = server.counters();
+  EXPECT_EQ(counters.requests, 5u);
+  EXPECT_EQ(counters.errors, 1u);
+  EXPECT_EQ(counters.sessions, 1u);
+}
+
+TEST_F(ServiceTest, CacheTrimOverTheProtocol) {
+  ServerOptions options;
+  options.engine.cache_dir = cache_dir();
+  Server server(options);
+
+  Request submit;
+  submit.op = Op::Submit;
+  submit.jobs = small_corpus();
+  ASSERT_TRUE(server.handle(submit).at("ok").as_bool());
+  const std::size_t entries =
+      static_cast<std::size_t>(server.engine().cache().disk_store()->entry_count());
+  ASSERT_GT(entries, 0u);
+
+  // Fresh entries survive an age-only trim...
+  Request trim;
+  trim.op = Op::CacheTrim;
+  trim.trim_max_age_seconds = 3600;
+  Json response = server.handle(trim);
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("entries_removed").as_int(), 0);
+  EXPECT_EQ(static_cast<std::size_t>(response.at("entries_kept").as_int()), entries);
+
+  // ...and a 1-byte size cap evicts everything; the engine still answers
+  // (trimming the disk tier never touches the memory tier).
+  trim.trim_max_age_seconds = 0;
+  trim.trim_max_total_bytes = 1;
+  response = server.handle(trim);
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(static_cast<std::size_t>(response.at("entries_removed").as_int()), entries);
+  EXPECT_EQ(server.engine().cache().disk_store()->entry_count(), 0u);
+  EXPECT_TRUE(server.handle(submit).at("ok").as_bool());
+}
+
+TEST_F(ServiceTest, CacheTrimWithoutDiskTierIsAProtocolError) {
+  Server server(ServerOptions{});
+  Request trim;
+  trim.op = Op::CacheTrim;
+  const Json response = server.handle(trim);
+  EXPECT_FALSE(response.at("ok").as_bool());
+  EXPECT_NE(response.at("error").as_string().find("cache directory"), std::string::npos);
+}
+
+#ifndef _WIN32
+
+TEST_F(ServiceTest, SocketSessionsEndToEnd) {
+  ServerOptions options;
+  options.socket_path = socket_;
+  Server server(options);
+  server.adopt_socket(service::open_listen_socket(socket_));
+  std::thread serving([&] { server.serve_socket(); });
+
+  {
+    Client client(socket_);
+    Request ping;
+    ping.id = 11;
+    const Response pong = client.call(ping);
+    EXPECT_TRUE(pong.ok);
+    EXPECT_EQ(pong.id, 11);
+
+    Request submit;
+    submit.op = Op::Submit;
+    submit.id = 12;
+    submit.jobs = small_corpus();
+    const Response results = client.call(submit);
+    ASSERT_TRUE(results.ok);
+    EXPECT_EQ(results.body.at("results").at("summary").at("succeeded").as_int(), 3);
+
+    // A second client shares the warm engine.
+    Client second(socket_);
+    const Response warm = second.call(submit);
+    ASSERT_TRUE(warm.ok);
+    EXPECT_EQ(warm.body.at("analyses_computed").as_int(), 0);
+    EXPECT_EQ(warm.body.at("results").dump(-1), results.body.at("results").dump(-1));
+
+    Request shutdown;
+    shutdown.op = Op::Shutdown;
+    EXPECT_TRUE(client.call(shutdown).ok);
+  }
+  serving.join();
+  EXPECT_FALSE(fs::exists(socket_));  // graceful exit unlinks the socket
+}
+
+TEST_F(ServiceTest, ConcurrentClientsGetIdenticalResults) {
+  ServerOptions options;
+  options.socket_path = socket_;
+  options.max_sessions = 4;
+  Server server(options);
+  server.adopt_socket(service::open_listen_socket(socket_));
+  std::thread serving([&] { server.serve_socket(); });
+
+  constexpr int kClients = 6;  // more than max_sessions: exercises backpressure
+  std::vector<std::string> results(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      Client client(socket_);
+      Request submit;
+      submit.op = Op::Submit;
+      submit.id = c + 1;
+      submit.jobs = small_corpus();
+      const Response response = client.call(submit);
+      if (response.ok) results[c] = response.body.at("results").dump(-1);
+    });
+  for (std::thread& t : clients) t.join();
+
+  ASSERT_FALSE(results[0].empty());
+  for (int c = 1; c < kClients; ++c) EXPECT_EQ(results[c], results[0]) << "client " << c;
+
+  Client(socket_).call([] {
+    Request r;
+    r.op = Op::Shutdown;
+    return r;
+  }());
+  serving.join();
+}
+
+TEST_F(ServiceTest, SigintFinishesInFlightWorkAndLeavesNoTempFiles) {
+  ServerOptions options;
+  options.socket_path = socket_;
+  options.engine.cache_dir = cache_dir();
+  Server server(options);
+  server.adopt_socket(service::open_listen_socket(socket_));
+  server.install_signal_handlers();
+  std::thread serving([&] { server.serve_socket(); });
+
+  {
+    Client client(socket_);
+    Request submit;
+    submit.op = Op::Submit;
+    submit.jobs = small_corpus();
+    ASSERT_TRUE(client.call(submit).ok);
+  }
+
+  ::raise(SIGINT);
+  serving.join();
+  EXPECT_TRUE(server.stop_requested());
+  EXPECT_FALSE(fs::exists(socket_));
+
+  // The cache dir holds committed entries only — no tmp-* debris.
+  std::size_t committed = 0, temps = 0;
+  for (const auto& entry : fs::directory_iterator(cache_dir())) {
+    const std::string name = entry.path().filename().string();
+    if (name.starts_with("tmp-")) ++temps;
+    else if (name.ends_with(".mpa")) ++committed;
+  }
+  EXPECT_GT(committed, 0u);
+  EXPECT_EQ(temps, 0u);
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+}  // namespace mpsched

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <map>
 #include <numeric>
 
@@ -160,6 +161,31 @@ TEST(StringsTest, ParseSize) {
   EXPECT_THROW(parse_size("4x"), std::invalid_argument);
   EXPECT_THROW(parse_size("-3"), std::invalid_argument);
   EXPECT_THROW(parse_size(""), std::invalid_argument);
+}
+
+TEST(StringsTest, ParseSizeBounded) {
+  // The CLI-flag variant: junk, signs, out-of-bound and overflowing
+  // values all fail with a clean std::invalid_argument — never UB or a
+  // silent wraparound (the overflow case below exceeds uint64 by far).
+  EXPECT_EQ(parse_size("8", 16), 8u);
+  EXPECT_EQ(parse_size("16", 16), 16u);     // inclusive bound
+  EXPECT_EQ(parse_size(" 0 ", 16), 0u);
+  EXPECT_THROW(parse_size("17", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("banana", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("-4", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("+4", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("4.5", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("", 16), std::invalid_argument);
+  EXPECT_THROW(parse_size("123456789012345678901234567890",
+                          std::numeric_limits<std::size_t>::max()),
+               std::invalid_argument);
+  // The diagnostic names the accepted range.
+  try {
+    parse_size("99", 16);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("max 16"), std::string::npos);
+  }
 }
 
 // ----------------------------------------------------------- hungarian --

@@ -1,0 +1,49 @@
+// Helpers shared by the mpsched_* CLI tools: bounds-checked numeric
+// flags and common enum flags, with diagnostics that name the flag.
+#pragma once
+
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+#include "engine/engine.hpp"
+#include "util/strings.hpp"
+
+namespace mpsched::cli {
+
+/// Consumes the value of argv flag `flag` at position i (advancing i);
+/// a flag at the end of the line is a usage error (diagnostic + exit 2).
+inline std::string flag_value(int argc, char** argv, int& i, const std::string& flag) {
+  if (i + 1 >= argc) {
+    std::printf("error: %s needs a value\n", flag.c_str());
+    std::exit(2);
+  }
+  return argv[++i];
+}
+
+/// Caps for the cache-trim flags, shared by mpsched_batch and
+/// mpsched_client so both tools accept the same range.
+inline constexpr std::size_t kMaxTrimAgeSeconds = std::size_t{1} << 40;
+inline constexpr std::size_t kMaxTrimBytes = std::size_t{1} << 50;
+
+/// Bounds-checked numeric flag: junk, negative, or overflowing values
+/// fail with a diagnostic naming the flag — never UB or a wraparound.
+inline std::size_t size_flag(const std::string& flag, const std::string& value,
+                             std::size_t max) {
+  try {
+    return parse_size(value, max);
+  } catch (const std::exception& e) {
+    throw std::invalid_argument(flag + ": " + e.what());
+  }
+}
+
+inline engine::ShardPolicy shard_policy_from(const std::string& s) {
+  if (s == "uniform") return engine::ShardPolicy::Uniform;
+  if (s == "adaptive") return engine::ShardPolicy::Adaptive;
+  throw std::invalid_argument("unknown shard policy '" + s +
+                              "' (expected uniform or adaptive)");
+}
+
+}  // namespace mpsched::cli

@@ -14,6 +14,11 @@
 //   mpsched_batch --list             list accepted workload specs
 //   mpsched_batch --selftest         in-memory corpus round-trip +
 //                                    determinism check (used by ctest)
+//   mpsched_batch --cache-dir DIR --cache-trim [--trim-age SECONDS]
+//                 [--trim-max-bytes BYTES]
+//                                    cache maintenance: sweep orphaned
+//                                    temp files, drop entries by age,
+//                                    evict oldest-first to a size cap
 //
 // --cache-dir persists analyses across runs: a second run on the same
 // directory recomputes nothing and emits a byte-identical results file.
@@ -24,14 +29,18 @@
 #include <string>
 #include <vector>
 
+#include "cli_common.hpp"
 #include "engine/cache_store.hpp"
 #include "engine/engine.hpp"
 #include "io/result_io.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 #include "workloads/corpus.hpp"
 
 using namespace mpsched;
+using cli::shard_policy_from;
+using cli::size_flag;
 
 namespace {
 
@@ -43,16 +52,10 @@ int usage(const char* argv0) {
       "     [--shard-policy uniform|adaptive] [--diagnostics] [--compact]\n"
       "  %s --demo FILE\n"
       "  %s --list\n"
-      "  %s --selftest\n",
-      argv0, argv0, argv0, argv0);
+      "  %s --selftest\n"
+      "  %s --cache-dir DIR --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n",
+      argv0, argv0, argv0, argv0, argv0);
   return 2;
-}
-
-engine::ShardPolicy shard_policy_from(const std::string& s) {
-  if (s == "uniform") return engine::ShardPolicy::Uniform;
-  if (s == "adaptive") return engine::ShardPolicy::Adaptive;
-  throw std::invalid_argument("unknown shard policy '" + s +
-                              "' (expected uniform or adaptive)");
 }
 
 std::vector<engine::Job> demo_jobs() {
@@ -146,28 +149,28 @@ int selftest() {
 
 int main(int argc, char** argv) {
   std::string corpus_path, out_path, demo_path, cache_dir;
-  std::size_t threads = 0;
+  std::size_t threads = 0, trim_age = 0, trim_max_bytes = 0;
   engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
   bool no_cache = false, diagnostics = false, compact = false, list = false,
-       run_selftest = false, cache_stats = false, require_full_cache = false;
+       run_selftest = false, cache_stats = false, require_full_cache = false,
+       cache_trim = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      auto value = [&]() -> std::string {
-        if (i + 1 >= argc) {
-          std::printf("error: %s needs a value\n", arg.c_str());
-          std::exit(2);
-        }
-        return argv[++i];
-      };
+      auto value = [&] { return cli::flag_value(argc, argv, i, arg); };
       if (arg == "--corpus") corpus_path = value();
       else if (arg == "--out") out_path = value();
       else if (arg == "--demo") demo_path = value();
-      else if (arg == "--threads") threads = parse_size(value());
+      else if (arg == "--threads") threads = size_flag(arg, value(), ThreadPool::kMaxThreads);
       else if (arg == "--no-cache") no_cache = true;
       else if (arg == "--cache-dir") cache_dir = value();
       else if (arg == "--cache-stats") cache_stats = true;
+      else if (arg == "--cache-trim") cache_trim = true;
+      else if (arg == "--trim-age")
+        trim_age = size_flag(arg, value(), cli::kMaxTrimAgeSeconds);
+      else if (arg == "--trim-max-bytes")
+        trim_max_bytes = size_flag(arg, value(), cli::kMaxTrimBytes);
       else if (arg == "--require-full-cache") require_full_cache = true;
       else if (arg == "--shard-policy") shard_policy = shard_policy_from(value());
       else if (arg == "--diagnostics") diagnostics = true;
@@ -194,6 +197,40 @@ int main(int argc, char** argv) {
       const std::vector<engine::Job> jobs = demo_jobs();
       save_corpus(jobs, demo_path);
       std::printf("wrote %zu-job demo corpus to %s\n", jobs.size(), demo_path.c_str());
+      return 0;
+    }
+
+    if (!cache_trim && (trim_age != 0 || trim_max_bytes != 0)) {
+      std::printf("error: --trim-age/--trim-max-bytes require --cache-trim\n");
+      return 2;
+    }
+    if (cache_trim) {
+      if (cache_dir.empty()) {
+        std::printf("error: --cache-trim requires --cache-dir\n");
+        return 2;
+      }
+      if (!corpus_path.empty() || !out_path.empty()) {
+        // Maintenance is its own mode; silently ignoring a supplied
+        // corpus would look like a run that never happened.
+        std::printf("error: --cache-trim cannot be combined with --corpus/--out\n");
+        return 2;
+      }
+      // Opening the store already sweeps orphaned temp files; trim() then
+      // applies the age/size limits to committed entries.
+      engine::CacheStore store(cache_dir);
+      engine::TrimOptions trim_options;
+      trim_options.max_age_seconds = trim_age;
+      trim_options.max_total_bytes = trim_max_bytes;
+      const engine::TrimResult r = store.trim(trim_options);
+      // Report the store's cumulative sweep counter, not r.temp_swept:
+      // the open-time sweep already ran in the constructor above, so
+      // trim()'s own sweep usually finds nothing left.
+      std::printf("cache-trim: removed %zu entries (%llu bytes), kept %zu (%llu bytes), "
+                  "swept %llu stale temp files in %s\n",
+                  r.entries_removed, static_cast<unsigned long long>(r.bytes_removed),
+                  r.entries_kept, static_cast<unsigned long long>(r.bytes_kept),
+                  static_cast<unsigned long long>(store.stats().temp_swept),
+                  cache_dir.c_str());
       return 0;
     }
 

@@ -1,0 +1,186 @@
+// mpsched_client — command-line client for a running mpsched_serve.
+//
+// Usage:
+//   mpsched_client --socket PATH --corpus FILE [--out FILE] [--diagnostics]
+//                  [--compact] [--require-full-cache]
+//   mpsched_client --socket PATH --ping
+//   mpsched_client --socket PATH --stats
+//   mpsched_client --socket PATH --cache-trim [--trim-age SECONDS]
+//                  [--trim-max-bytes BYTES]
+//   mpsched_client --socket PATH --shutdown [--wait-exit-ms MS]
+//
+// --corpus submits a corpus file and writes the results document to
+// --out byte-identically to what `mpsched_batch --corpus ... --out ...`
+// would produce for the same corpus — the serve path adds no formatting
+// of its own, so `cmake -E compare_files` against a one-shot batch run
+// is the correctness gate. --require-full-cache exits nonzero unless the
+// daemon answered entirely from its warm cache (zero analyses computed).
+// --shutdown requests a graceful stop and waits until the daemon has
+// actually exited (socket closed and unlinked).
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "cli_common.hpp"
+#include "service/client.hpp"
+
+using namespace mpsched;
+using cli::size_flag;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::printf(
+      "usage:\n"
+      "  %s --socket PATH --corpus FILE [--out FILE] [--diagnostics] [--compact]\n"
+      "     [--require-full-cache]\n"
+      "  %s --socket PATH --ping | --stats\n"
+      "  %s --socket PATH --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n"
+      "  %s --socket PATH --shutdown [--wait-exit-ms MS]\n",
+      argv0, argv0, argv0, argv0);
+  return 2;
+}
+
+/// Fails loudly on a protocol-level error response. Lvalues only: the
+/// returned reference points into the response, so binding a temporary
+/// here would dangle.
+const Json& require_ok(const service::Response& response) {
+  if (!response.ok)
+    throw std::runtime_error("server rejected the request: " + response.error);
+  return response.body;
+}
+const Json& require_ok(service::Response&&) = delete;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path, corpus_path, out_path;
+  bool ping = false, stats = false, cache_trim = false, shutdown = false;
+  bool diagnostics = false, compact = false, require_full_cache = false;
+  std::size_t trim_age = 0, trim_max_bytes = 0, wait_exit_ms = 10000;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      auto value = [&] { return cli::flag_value(argc, argv, i, arg); };
+      if (arg == "--socket") socket_path = value();
+      else if (arg == "--corpus") corpus_path = value();
+      else if (arg == "--out") out_path = value();
+      else if (arg == "--diagnostics") diagnostics = true;
+      else if (arg == "--compact") compact = true;
+      else if (arg == "--require-full-cache") require_full_cache = true;
+      else if (arg == "--ping") ping = true;
+      else if (arg == "--stats") stats = true;
+      else if (arg == "--cache-trim") cache_trim = true;
+      else if (arg == "--trim-age")
+        trim_age = size_flag(arg, value(), cli::kMaxTrimAgeSeconds);
+      else if (arg == "--trim-max-bytes")
+        trim_max_bytes = size_flag(arg, value(), cli::kMaxTrimBytes);
+      else if (arg == "--wait-exit-ms")
+        wait_exit_ms = size_flag(arg, value(), 600000);
+      else if (arg == "--shutdown") shutdown = true;
+      else if (arg == "--help" || arg == "-h") return usage(argv[0]);
+      else {
+        std::printf("error: unknown argument '%s'\n", arg.c_str());
+        return usage(argv[0]);
+      }
+    }
+
+    const int ops = (corpus_path.empty() ? 0 : 1) + (ping ? 1 : 0) + (stats ? 1 : 0) +
+                    (cache_trim ? 1 : 0) + (shutdown ? 1 : 0);
+    if (socket_path.empty() || ops != 1) return usage(argv[0]);
+    if (!cache_trim && (trim_age != 0 || trim_max_bytes != 0)) {
+      std::printf("error: --trim-age/--trim-max-bytes require --cache-trim\n");
+      return 2;
+    }
+
+    service::Client client(socket_path);
+
+    if (ping) {
+      service::Request request;
+      request.op = service::Op::Ping;
+      request.id = 1;
+      const service::Response response = client.call(request);
+      const Json& body = require_ok(response);
+      std::printf("server is up: %s\n", body.at("protocol").as_string().c_str());
+      return 0;
+    }
+
+    if (stats) {
+      service::Request request;
+      request.op = service::Op::Stats;
+      request.id = 1;
+      const service::Response response = client.call(request);
+      const Json& body = require_ok(response);
+      std::printf("%s\n", body.dump(2).c_str());
+      return 0;
+    }
+
+    if (cache_trim) {
+      service::Request request;
+      request.op = service::Op::CacheTrim;
+      request.id = 1;
+      request.trim_max_age_seconds = trim_age;
+      request.trim_max_total_bytes = trim_max_bytes;
+      const service::Response response = client.call(request);
+      const Json& body = require_ok(response);
+      std::printf("cache-trim: removed %lld entries (%lld bytes), kept %lld (%lld bytes), "
+                  "swept %lld stale temp files\n",
+                  static_cast<long long>(body.at("entries_removed").as_int()),
+                  static_cast<long long>(body.at("bytes_removed").as_int()),
+                  static_cast<long long>(body.at("entries_kept").as_int()),
+                  static_cast<long long>(body.at("bytes_kept").as_int()),
+                  static_cast<long long>(body.at("temp_swept").as_int()));
+      return 0;
+    }
+
+    if (shutdown) {
+      service::Request request;
+      request.op = service::Op::Shutdown;
+      request.id = 1;
+      const service::Response response = client.call(request);
+      require_ok(response);
+      if (!service::wait_for_server_exit(socket_path, static_cast<int>(wait_exit_ms))) {
+        std::printf("error: server acknowledged shutdown but did not exit within %zu ms\n",
+                    wait_exit_ms);
+        return 1;
+      }
+      std::printf("server shut down cleanly\n");
+      return 0;
+    }
+
+    // Submit: the corpus document travels verbatim — the server parses
+    // and validates; this side only wraps it in the request envelope.
+    Json request_doc = Json::object();
+    request_doc.set("op", "submit");
+    request_doc.set("id", 1);
+    request_doc.set("corpus", load_json(corpus_path));
+    if (diagnostics) request_doc.set("diagnostics", true);
+    const service::Response response =
+        service::response_from_json(client.call_raw(request_doc));
+    const Json& body = require_ok(response);
+
+    const Json& results = body.at("results");
+    const std::int64_t computed = body.at("analyses_computed").as_int();
+    const std::int64_t reused = body.at("analyses_reused").as_int();
+    const Json& summary = results.at("summary");
+    std::printf("%lld/%lld jobs succeeded (analyses: %lld computed, %lld reused)\n",
+                static_cast<long long>(summary.at("succeeded").as_int()),
+                static_cast<long long>(summary.at("jobs").as_int()),
+                static_cast<long long>(computed), static_cast<long long>(reused));
+    if (!out_path.empty()) {
+      save_json(results, out_path, compact ? -1 : 2);
+      std::printf("results written to %s\n", out_path.c_str());
+    }
+    if (require_full_cache && computed != 0) {
+      std::printf("error: --require-full-cache, but the server computed %lld analyses "
+                  "instead of serving them from its warm cache\n",
+                  static_cast<long long>(computed));
+      return 1;
+    }
+    return summary.at("succeeded").as_int() == summary.at("jobs").as_int() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::printf("error: %s\n", e.what());
+    return 1;
+  }
+}
