@@ -2,6 +2,14 @@
 // priority sum) in the multi-pattern scheduler, across workloads and both
 // selected and random pattern sets. The paper argues F2 resolves F1's
 // ties in favour of urgent (high-priority) nodes.
+//
+// Every cell is pinned via bench::Gate. The paper fixes these knobs but
+// does not publish this sweep, so the pins are reproduction values
+// (captured from the deterministic implementation — selection, scheduling
+// and the seeded 10-draw random sets are all bit-stable); any drift in
+// selection, scheduling, or the RNG fails the smoke test. Random columns
+// pin the 10-draw cycle *sum* (the printed mean is sum/10, exact under
+// %.1f because cycles are integers).
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -33,15 +41,19 @@ int main() {
   struct Workload {
     const char* name;
     Dfg dfg;
+    // Pinned reproduction values: selected-set cycles under F1/F2, and
+    // the seeded 10-draw random-set cycle sums under F1/F2.
+    long long sel_f1, sel_f2, rnd_f1_sum, rnd_f2_sum;
   };
   std::vector<Workload> cases;
-  cases.push_back({"3DFT", workloads::paper_3dft()});
-  cases.push_back({"5DFT", workloads::winograd_dft5()});
-  cases.push_back({"FFT8", workloads::radix2_fft(8)});
-  cases.push_back({"FFT16", workloads::radix2_fft(16)});
-  cases.push_back({"FIR16", workloads::fir_filter(16)});
-  cases.push_back({"matmul3", workloads::matmul(3)});
+  cases.push_back({"3DFT", workloads::paper_3dft(), 8, 7, 75, 77});
+  cases.push_back({"5DFT", workloads::winograd_dft5(), 9, 10, 114, 112});
+  cases.push_back({"FFT8", workloads::radix2_fft(8), 13, 13, 157, 155});
+  cases.push_back({"FFT16", workloads::radix2_fft(16), 42, 39, 466, 461});
+  cases.push_back({"FIR16", workloads::fir_filter(16), 9, 10, 113, 112});
+  cases.push_back({"matmul3", workloads::matmul(3), 10, 10, 132, 131});
 
+  bench::Gate gate;
   TextTable t({"workload", "sel F1", "sel F2", "rnd F1 (mean)", "rnd F2 (mean)"});
   double f1_total = 0, f2_total = 0;
   for (const auto& w : cases) {
@@ -56,28 +68,33 @@ int main() {
     const std::size_t sel_f2 = run(w.dfg, sel.patterns, PatternRule::F2PrioritySum);
 
     Rng rng(99);
-    double rnd_f1 = 0, rnd_f2 = 0;
+    long long rnd_f1 = 0, rnd_f2 = 0;
     for (int i = 0; i < 10; ++i) {
       RandomPatternOptions rpo;
       rpo.capacity = 5;
       rpo.count = 4;
       const PatternSet random_set = random_pattern_set(w.dfg, rng, rpo);
-      rnd_f1 += static_cast<double>(run(w.dfg, random_set, PatternRule::F1CoverCount));
-      rnd_f2 += static_cast<double>(run(w.dfg, random_set, PatternRule::F2PrioritySum));
+      rnd_f1 += static_cast<long long>(run(w.dfg, random_set, PatternRule::F1CoverCount));
+      rnd_f2 += static_cast<long long>(run(w.dfg, random_set, PatternRule::F2PrioritySum));
     }
-    rnd_f1 /= 10;
-    rnd_f2 /= 10;
-    f1_total += static_cast<double>(sel_f1) + rnd_f1;
-    f2_total += static_cast<double>(sel_f2) + rnd_f2;
+    f1_total += static_cast<double>(sel_f1) + static_cast<double>(rnd_f1) / 10;
+    f2_total += static_cast<double>(sel_f2) + static_cast<double>(rnd_f2) / 10;
+
+    const std::string prefix = std::string(w.name) + " ";
+    gate.check_eq(w.sel_f1, static_cast<long long>(sel_f1), prefix + "selected F1 cycles");
+    gate.check_eq(w.sel_f2, static_cast<long long>(sel_f2), prefix + "selected F2 cycles");
+    gate.check_eq(w.rnd_f1_sum, rnd_f1, prefix + "random F1 10-draw cycle sum");
+    gate.check_eq(w.rnd_f2_sum, rnd_f2, prefix + "random F2 10-draw cycle sum");
 
     char c1[16], c2[16];
-    std::snprintf(c1, sizeof c1, "%.1f", rnd_f1);
-    std::snprintf(c2, sizeof c2, "%.1f", rnd_f2);
+    std::snprintf(c1, sizeof c1, "%.1f", static_cast<double>(rnd_f1) / 10);
+    std::snprintf(c2, sizeof c2, "%.1f", static_cast<double>(rnd_f2) / 10);
     t.add(w.name, sel_f1, sel_f2, c1, c2);
   }
   std::fputs(t.to_string().c_str(), stdout);
   std::printf("\nAggregate cycles: F1 %.1f vs F2 %.1f — %s\n", f1_total, f2_total,
               f2_total <= f1_total ? "F2 at least as good, matching the paper's argument"
                                    : "F1 ahead on this suite");
-  return 0;
+  gate.check(f2_total <= f1_total, "F2 aggregate <= F1 aggregate (the paper's argument)");
+  return gate.finish("ablation B — F1 vs F2 per-cell pins");
 }

@@ -91,6 +91,17 @@ std::vector<std::vector<NodeId>> pack_roots_by_cost(
   return roots;
 }
 
+BatchResult collect_tickets(const std::vector<Ticket>& tickets) {
+  BatchResult batch;
+  batch.jobs.reserve(tickets.size());
+  for (const Ticket& ticket : tickets) batch.jobs.push_back(ticket.result());
+  for (const JobResult& r : batch.jobs) {
+    if (r.analysis_source == AnalysisSource::Computed) ++batch.analyses_computed;
+    else if (r.analysis_source == AnalysisSource::Reused) ++batch.analyses_reused;
+  }
+  return batch;
+}
+
 std::size_t BatchResult::succeeded() const {
   std::size_t n = 0;
   for (const JobResult& r : jobs)
@@ -108,13 +119,22 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
     throw std::invalid_argument(
         "EngineOptions: cache_dir requires use_cache (a disk tier on a disabled "
         "cache would never be read or written)");
+  if (options_.coalesce.max_jobs == 0)
+    throw std::invalid_argument(
+        "EngineOptions: coalesce.max_jobs must be >= 1 (a zero trigger would "
+        "never flush the admission queue)");
+  if (!options_.coalesce.flush_on_idle && options_.coalesce.max_delay_ms == 0)
+    throw std::invalid_argument(
+        "EngineOptions: coalesce.flush_on_idle=false requires max_delay_ms >= 1 "
+        "(a zero hold expires instantly, silently disabling the coalescing the "
+        "caller asked for)");
   if (options_.threads > 0) owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   if (options_.cache == nullptr) owned_cache_ = std::make_unique<AnalysisCache>();
   if (!options_.cache_dir.empty())
     cache().attach_store(std::make_shared<CacheStore>(options_.cache_dir));
 }
 
-Engine::~Engine() = default;
+Engine::~Engine() { shutdown(); }
 
 ThreadPool& Engine::pool() {
   return owned_pool_ ? *owned_pool_ : ThreadPool::shared();
@@ -124,14 +144,59 @@ AnalysisCache& Engine::cache() {
   return options_.cache != nullptr ? *options_.cache : *owned_cache_;
 }
 
+SubmissionQueue& Engine::queue() {
+  // Lazy: an engine used only once and thrown away does not pay for a
+  // dispatcher thread it never needed.
+  std::lock_guard lock(queue_mutex_);
+  if (shut_down_)
+    throw std::runtime_error("Engine: submit after shutdown (the queue is drained)");
+  if (queue_ == nullptr)
+    queue_ = std::make_unique<SubmissionQueue>(
+        [this](std::vector<Job> jobs) {
+          return std::move(execute_batch(jobs).jobs);
+        },
+        options_.coalesce);
+  return *queue_;
+}
+
+void Engine::shutdown() {
+  std::unique_lock lock(queue_mutex_);
+  // The latch is set under the same lock that guards lazy construction,
+  // so a shutdown() on a never-used engine still makes later submits
+  // throw (and a racing first submit either beats the latch and is
+  // drained below, or loses and throws).
+  shut_down_ = true;
+  if (queue_ == nullptr) return;
+  SubmissionQueue& q = *queue_;
+  lock.unlock();  // shutdown executes a final flush; don't hold the lock
+  q.shutdown();
+}
+
 EngineStats Engine::stats() {
   EngineStats snapshot;
   {
     std::lock_guard lock(stats_mutex_);
     snapshot = stats_;
   }
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (queue_ != nullptr) {
+      const SubmissionStats q = queue_->stats();
+      snapshot.jobs_submitted = q.submitted;
+      snapshot.jobs_cancelled = q.cancelled;
+      snapshot.coalesced_dispatches = q.coalesced_dispatches;
+      snapshot.queue_depth = q.queue_depth;
+      snapshot.max_queue_depth = q.max_queue_depth;
+    }
+  }
   snapshot.cache = cache().stats();
   return snapshot;
+}
+
+Ticket Engine::submit(Job job) { return queue().submit(std::move(job)); }
+
+std::vector<Ticket> Engine::submit_batch(std::vector<Job> jobs) {
+  return queue().submit_batch(std::move(jobs));
 }
 
 JobResult Engine::run(const Job& job) {
@@ -139,6 +204,14 @@ JobResult Engine::run(const Job& job) {
 }
 
 BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
+  Timer wall;
+  BatchResult batch = collect_tickets(submit_batch(jobs));
+  batch.wall_ms = wall.millis();
+  batch.cache_stats = cache().stats();
+  return batch;
+}
+
+BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   Timer wall;
   BatchResult batch;
   batch.jobs.resize(jobs.size());
@@ -234,6 +307,7 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
       if (auto hit = store.find_analysis(keys[i])) {
         analysis[i] = std::move(hit);
         batch.jobs[i].analysis_cache_hit = true;
+        batch.jobs[i].analysis_source = AnalysisSource::Reused;
         ++batch.analyses_reused;
         continue;
       }
@@ -242,7 +316,9 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
         units.push_back(AnalysisUnit{});
         units.back().key = keys[i];
         units.back().exemplar_job = i;
+        batch.jobs[i].analysis_source = AnalysisSource::Computed;
       } else {
+        batch.jobs[i].analysis_source = AnalysisSource::Reused;
         ++batch.analyses_reused;
       }
       units[it->second].consumers.push_back(i);
@@ -255,6 +331,7 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
       unit.exemplar_job = i;
       unit.consumers.push_back(i);
       units.push_back(std::move(unit));
+      batch.jobs[i].analysis_source = AnalysisSource::Computed;
     }
   }
   batch.analyses_computed = units.size();

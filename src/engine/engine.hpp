@@ -23,6 +23,14 @@
 // Determinism: shard merging is grouping-insensitive and every phase
 // writes to per-index slots, so results — down to the serialized JSON —
 // are bit-identical for any thread count and any cache state.
+//
+// Submission surface: submit()/submit_batch() enqueue jobs on an internal
+// admission queue (engine/submission_queue.hpp) and return waitable
+// Tickets; a dispatcher thread micro-batches everything queued into
+// shared dispatches under EngineOptions::coalesce. run_batch() survives
+// as a thin synchronous wrapper — submit the batch, wait the tickets —
+// so every existing caller keeps working, and because a JobResult depends
+// only on its Job, coalescing never changes what any caller gets back.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +40,7 @@
 
 #include "engine/analysis_cache.hpp"
 #include "engine/job.hpp"
+#include "engine/submission_queue.hpp"
 
 namespace mpsched {
 class ThreadPool;
@@ -67,6 +76,12 @@ struct EngineOptions {
   std::size_t shards_per_thread = 4;
   /// How roots are packed into shards; results are identical either way.
   ShardPolicy shard_policy = ShardPolicy::Adaptive;
+  /// When the admission queue behind submit()/run_batch() flushes queued
+  /// jobs into one shared dispatch (submission_queue.hpp). The default —
+  /// flush-on-idle, no added delay — dispatches a lone submission
+  /// immediately; coalescing then happens only while a dispatch is
+  /// already executing, so latency is never traded away silently.
+  CoalescePolicy coalesce{};
 };
 
 struct BatchResult {
@@ -84,19 +99,35 @@ struct BatchResult {
   std::size_t succeeded() const;
 };
 
-/// Cumulative counters over every run_batch() of one engine plus a cache
-/// snapshot — the "how warm is this engine" surface a long-running front
-/// end (src/service) reports without poking engine internals. Counters
-/// only grow; `cache` is the shared AnalysisCache's own snapshot, so with
-/// an external cache it can include other engines' traffic.
+/// Cumulative counters over every dispatch of one engine plus cache and
+/// admission-queue snapshots — the "how warm is this engine" surface a
+/// long-running front end (src/service) reports without poking engine
+/// internals. Counters only grow (queue_depth is the instantaneous
+/// exception); `cache` is the shared AnalysisCache's own snapshot, so
+/// with an external cache it can include other engines' traffic.
 struct EngineStats {
-  std::uint64_t batches = 0;
+  std::uint64_t batches = 0;  ///< dispatches executed (shared or singleton)
   std::uint64_t jobs = 0;
   std::uint64_t jobs_succeeded = 0;
   std::uint64_t analyses_computed = 0;
   std::uint64_t analyses_reused = 0;
+  // -- admission queue (submission_queue.hpp) ----------------------------
+  std::uint64_t jobs_submitted = 0;  ///< tickets ever issued
+  std::uint64_t jobs_cancelled = 0;  ///< tickets cancelled before dispatch
+  std::uint64_t coalesced_dispatches = 0;  ///< dispatches carrying > 1 job
+  std::uint64_t queue_depth = 0;           ///< currently queued
+  std::uint64_t max_queue_depth = 0;       ///< queue-depth high-water mark
   CacheStats cache{};
 };
+
+/// Waits out a ticket set and reassembles it into a BatchResult: results
+/// in ticket order, per-job AnalysisSource attribution summed back into
+/// analyses_computed / analyses_reused (the invariant that makes
+/// per-request accounting exact even when requests share a coalesced
+/// dispatch). Used by run_batch() and the service layer alike; wall_ms
+/// and cache_stats are left for the caller, who knows what they span.
+/// Rethrows a dispatch-level failure of any ticket.
+BatchResult collect_tickets(const std::vector<Ticket>& tickets);
 
 /// The Adaptive-policy packer: greedy LPT over per-root cost estimates —
 /// roots in descending cost, each onto the currently lightest shard, at
@@ -110,34 +141,56 @@ std::vector<std::vector<NodeId>> pack_roots_by_cost(
 class Engine {
  public:
   explicit Engine(EngineOptions options = {});
-  ~Engine();
+  ~Engine();  ///< drains the admission queue (shutdown()) before teardown
 
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
 
-  /// Executes one job (a batch of one).
+  /// Enqueues one job on the admission queue; the Ticket resolves when a
+  /// shared dispatch has executed it. Thread-safe; throws after shutdown().
+  Ticket submit(Job job);
+  /// Enqueues a batch atomically — one flush always dispatches it whole,
+  /// so intra-batch deduplication is never lost to coalescing splits.
+  std::vector<Ticket> submit_batch(std::vector<Job> jobs);
+
+  /// Executes one job synchronously (submit + wait).
   JobResult run(const Job& job);
 
-  /// Executes a batch; results are index-aligned with `jobs`.
+  /// Executes a batch synchronously; results are index-aligned with
+  /// `jobs`. A thin wrapper over submit_batch(): the jobs ride the same
+  /// admission queue as every async caller (and may share a dispatch with
+  /// them), which changes nothing about the results — only the counters
+  /// they are reported under.
   BatchResult run_batch(const std::vector<Job>& jobs);
+
+  /// Drains the admission queue (queued jobs still execute, in one final
+  /// flush) and stops the dispatcher. Idempotent; implied by destruction.
+  /// submit()/run_batch() afterwards throw std::runtime_error.
+  void shutdown();
 
   const EngineOptions& options() const noexcept { return options_; }
   /// The cache in use (owned or external).
   AnalysisCache& cache();
 
-  /// Snapshot of the cumulative counters (thread-safe; run_batch may be
+  /// Snapshot of the cumulative counters (thread-safe; dispatches may be
   /// executing concurrently — the snapshot is simply the last completed
   /// state).
   EngineStats stats();
 
  private:
   ThreadPool& pool();
+  SubmissionQueue& queue();  ///< lazily started on first submission
+  /// One shared dispatch: the whole batch pipeline (phases 0–2).
+  BatchResult execute_batch(const std::vector<Job>& jobs);
 
   EngineOptions options_;
   std::unique_ptr<ThreadPool> owned_pool_;
   std::unique_ptr<AnalysisCache> owned_cache_;
   std::mutex stats_mutex_;
   EngineStats stats_;
+  std::mutex queue_mutex_;  ///< guards lazy queue_ construction + shut_down_
+  std::unique_ptr<SubmissionQueue> queue_;
+  bool shut_down_ = false;
 };
 
 }  // namespace mpsched::engine

@@ -60,6 +60,16 @@ struct PhaseTimings {
   }
 };
 
+/// Diagnostic attribution of a job's antichain analysis within its
+/// dispatch: Computed for the one job that ran (or would have run) the
+/// analysis fresh, Reused for cache hits and intra-dispatch duplicates,
+/// None when the job failed before the analysis phase. Summing these over
+/// any set of JobResults reproduces the batch-level analyses_computed /
+/// analyses_reused counters — which is how the synchronous run_batch()
+/// wrapper and the service layer account per-request work when requests
+/// share a coalesced dispatch.
+enum class AnalysisSource { None, Computed, Reused };
+
 struct JobResult {
   std::string job;       ///< Job::resolved_name()
   std::string workload;  ///< Job::workload (may be empty)
@@ -82,6 +92,7 @@ struct JobResult {
 
   // -- diagnostics (excluded from deterministic serialization) -----------
   bool analysis_cache_hit = false;
+  AnalysisSource analysis_source = AnalysisSource::None;
   PhaseTimings timings{};
 };
 

@@ -1,0 +1,191 @@
+// Asynchronous admission queue of the batch engine — the machinery behind
+// Engine::submit().
+//
+// The blocking run_batch() API forces every caller to assemble its whole
+// batch up front; a long-running front end (src/service) serving many
+// small interleaved jobs would either run them one-at-a-time (paying a
+// full dispatch per tiny job) or block sessions on each other. The
+// submission queue inverts the flow: callers enqueue Jobs and get back
+// waitable/pollable Tickets; a single dispatcher thread drains the queue
+// into *shared* dispatches — every job queued at flush time rides one
+// batch execution, so N clients each submitting one small job share one
+// warm dispatch (content-addressed dedup and root sharding then work
+// across all of them).
+//
+// Coalescing policy (CoalescePolicy): a flush happens when max_jobs are
+// queued, when the oldest queued job has waited max_delay_ms, or — with
+// flush_on_idle (the default) — immediately whenever the dispatcher is
+// free. max_jobs is a flush *trigger*, not a dispatch size cap: a flush
+// always takes everything queued, so one submit_batch() is never split.
+//
+// Determinism: a JobResult depends only on its Job — never on what it was
+// coalesced with. This falls out of the engine's execution contract
+// (content-addressed analyses are bit-identical however they are computed
+// or cached; shard merging is grouping-insensitive; the solve phase is
+// per-job), and is gated by tests/submission_queue_test.cpp: the same
+// corpus submitted singly from concurrent threads, pre-batched, or
+// force-coalesced serializes byte-identically.
+//
+// Lifecycle: cancel() removes a still-queued ticket (its result becomes a
+// "cancelled before dispatch" failure); once dispatched a job always runs
+// to completion. shutdown() drains — everything still queued is dispatched
+// in one final flush — then joins the dispatcher; submitting afterwards
+// throws. Tickets are value handles (shared state) and stay valid after
+// the queue, or the whole engine, is gone.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/job.hpp"
+
+namespace mpsched::engine {
+
+/// When the admission queue flushes queued jobs into one shared dispatch.
+struct CoalescePolicy {
+  /// Flush as soon as this many jobs are queued (>= 1). A flush always
+  /// dispatches *everything* queued, so this is a trigger, not a cap.
+  std::size_t max_jobs = 64;
+  /// Longest a queued job may wait for companions before a flush.
+  std::uint64_t max_delay_ms = 0;
+  /// Flush immediately whenever the dispatcher is free (lowest latency;
+  /// coalescing then only happens while a dispatch is executing). With
+  /// this off the queue always holds jobs for max_delay_ms / max_jobs —
+  /// maximal coalescing at the price of added latency — and max_delay_ms
+  /// must be >= 1 (a zero hold would expire instantly, silently behaving
+  /// like flush_on_idle; the Engine rejects the combination).
+  bool flush_on_idle = true;
+};
+
+enum class TicketState { Queued, Dispatched, Done, Cancelled };
+
+/// Monotone counters of the admission queue (snapshot via stats();
+/// queue_depth is the instantaneous exception).
+struct SubmissionStats {
+  std::uint64_t submitted = 0;   ///< tickets ever issued
+  std::uint64_t cancelled = 0;   ///< tickets cancelled before dispatch
+  std::uint64_t dispatches = 0;  ///< shared batch executions
+  std::uint64_t coalesced_dispatches = 0;  ///< dispatches carrying > 1 job
+  std::uint64_t jobs_dispatched = 0;       ///< jobs across all dispatches
+  std::uint64_t queue_depth = 0;           ///< currently queued (not monotone)
+  std::uint64_t max_queue_depth = 0;       ///< high-water mark of queue_depth
+};
+
+class SubmissionQueue;
+
+namespace detail {
+
+/// Shared per-ticket state. The promise is fulfilled exactly once: by the
+/// dispatcher (result or execution exception) or by cancel().
+struct TicketEntry {
+  std::uint64_t id = 0;
+  Job job;
+  std::promise<JobResult> promise;
+  std::shared_future<JobResult> future;
+  std::atomic<TicketState> state{TicketState::Queued};
+  std::chrono::steady_clock::time_point enqueued{};
+};
+
+/// State shared by the queue, its dispatcher thread, and every Ticket —
+/// kept in a shared_ptr so tickets stay safe to poll, wait on, or cancel
+/// after the SubmissionQueue itself is destroyed.
+struct QueueCore {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::shared_ptr<TicketEntry>> pending;
+  SubmissionStats stats;
+  bool stop = false;
+};
+
+}  // namespace detail
+
+/// Waitable/pollable handle for one submitted Job. Value semantics: copies
+/// share the same underlying submission. A default-constructed Ticket is
+/// invalid; every accessor but valid() throws on it.
+class Ticket {
+ public:
+  Ticket() = default;
+
+  bool valid() const noexcept { return entry_ != nullptr; }
+  /// Engine-assigned submission id (monotone per queue, starting at 1).
+  std::uint64_t id() const;
+  TicketState state() const;
+
+  /// Poll: true once the result (or cancellation) is available.
+  bool ready() const;
+  /// Blocks until ready.
+  void wait() const;
+  /// Bounded wait; true when the result became available in time.
+  bool wait_for(std::chrono::milliseconds timeout) const;
+
+  /// Blocks until ready and returns the result. A cancelled ticket yields
+  /// a failed JobResult (error "cancelled before dispatch"); an execution
+  /// failure of the whole dispatch rethrows its exception. Callable any
+  /// number of times.
+  const JobResult& result() const;
+
+  /// Cancels the submission if it is still queued: true when this call
+  /// removed it (the result becomes the cancellation failure above),
+  /// false when the job was already dispatched, done, or cancelled.
+  bool cancel();
+
+ private:
+  friend class SubmissionQueue;
+  Ticket(std::shared_ptr<detail::TicketEntry> entry,
+         std::shared_ptr<detail::QueueCore> core)
+      : entry_(std::move(entry)), core_(std::move(core)) {}
+
+  const detail::TicketEntry& checked() const;
+
+  std::shared_ptr<detail::TicketEntry> entry_;
+  std::shared_ptr<detail::QueueCore> core_;
+};
+
+/// The admission queue itself. One dispatcher thread; thread-safe
+/// submit/cancel/stats from any number of callers.
+class SubmissionQueue {
+ public:
+  /// `dispatch` executes one shared batch and returns results aligned
+  /// with its argument (the Engine passes its batch executor). Throws
+  /// std::invalid_argument on a bad policy (max_jobs == 0).
+  SubmissionQueue(std::function<std::vector<JobResult>(std::vector<Job>)> dispatch,
+                  CoalescePolicy policy);
+  ~SubmissionQueue();
+
+  SubmissionQueue(const SubmissionQueue&) = delete;
+  SubmissionQueue& operator=(const SubmissionQueue&) = delete;
+
+  /// Enqueues one job. Throws std::runtime_error after shutdown().
+  Ticket submit(Job job);
+  /// Enqueues a whole batch atomically: all jobs land in the queue under
+  /// one lock, so a flush can never split them across dispatches.
+  std::vector<Ticket> submit_batch(std::vector<Job> jobs);
+
+  /// Drain-and-stop: everything still queued is dispatched in one final
+  /// flush, the dispatcher joins, later submits throw. Idempotent.
+  void shutdown();
+
+  SubmissionStats stats() const;
+  const CoalescePolicy& policy() const noexcept { return policy_; }
+
+ private:
+  void dispatcher_loop();
+
+  std::function<std::vector<JobResult>(std::vector<Job>)> dispatch_;
+  CoalescePolicy policy_;
+  std::shared_ptr<detail::QueueCore> core_;
+  std::atomic<std::uint64_t> next_id_{1};
+  std::mutex join_mutex_;  ///< serializes shutdown()'s join
+  std::thread dispatcher_;
+};
+
+}  // namespace mpsched::engine

@@ -4,12 +4,30 @@
 // the mpsched_client tool, and the service tests, so both ends agree on
 // one schema.
 //
+// Protocol v2 (mpsched.serve/v2) — v1 requests are a strict subset and
+// are still accepted unchanged:
+//
 // Requests ({"op": ..., "id": ...}):
-//   ping                       liveness + protocol tag
-//   submit                     run a whole corpus ("corpus": corpus doc,
-//                              optional "diagnostics": bool)
-//   submit_job                 run a single job ("job": one corpus entry)
-//   stats                      engine/cache/server counter snapshot
+//   ping                       liveness + protocol tags
+//   submit                     run a whole corpus, blocking ("corpus":
+//                              corpus doc, optional "diagnostics": bool)
+//   submit_job                 run a single job, blocking ("job": one
+//                              corpus entry)
+//   submit_async     (v2)      enqueue a corpus on the engine's admission
+//                              queue and return immediately with a
+//                              server-assigned "request" id; the jobs may
+//                              share a coalesced dispatch with any other
+//                              session's
+//   poll             (v2)      non-blocking status of an async request
+//                              ("request": id) — done flag + completion
+//                              count
+//   wait             (v2)      block until an async request finishes and
+//                              return its results document; consumes the
+//                              request (a second wait is an error)
+//   cancel           (v2)      cancel the not-yet-dispatched jobs of an
+//                              async request (dispatched jobs finish;
+//                              wait still collects every result)
+//   stats                      engine/cache/queue/server counter snapshot
 //   cache_trim                 age/size-based disk-cache maintenance
 //                              ("max_age_seconds" / "max_total_bytes",
 //                              0 = that limit disabled)
@@ -20,7 +38,13 @@
 // successes add op-specific payload ("results" is a full
 // mpsched.batch.results/v1 document, byte-compatible with what
 // mpsched_batch --out writes — re-serializing it with the same indent
-// reproduces the one-shot file exactly).
+// reproduces the one-shot file exactly, however the jobs were coalesced).
+//
+// Pipelining: "id" is a client-chosen correlation id echoed verbatim, so
+// a session may keep many async requests in flight and match responses
+// by id; "request" ids are server-assigned, session-owned, and never
+// reused — referencing another session's request id is rejected exactly
+// like an unknown one.
 //
 // The envelope is strict the same way corpus files are: unknown ops and
 // unknown keys are rejected, so a typo'd request fails loudly instead of
@@ -38,9 +62,23 @@
 namespace mpsched::service {
 
 /// Protocol tag answered by ping (bump on breaking envelope changes).
-inline constexpr const char* kProtocol = "mpsched.serve/v1";
+inline constexpr const char* kProtocol = "mpsched.serve/v2";
+/// The previous tag; v1 requests are still served unchanged, and ping
+/// lists both under "protocols".
+inline constexpr const char* kProtocolV1 = "mpsched.serve/v1";
 
-enum class Op { Ping, Submit, SubmitJob, Stats, CacheTrim, Shutdown };
+enum class Op {
+  Ping,
+  Submit,
+  SubmitJob,
+  SubmitAsync,
+  Poll,
+  Wait,
+  Cancel,
+  Stats,
+  CacheTrim,
+  Shutdown,
+};
 
 /// Wire name of an op ("ping", "submit", ...).
 const char* to_text(Op op);
@@ -51,11 +89,14 @@ struct Request {
   Op op = Op::Ping;
   /// Client-chosen correlation id, echoed verbatim in the response.
   std::int64_t id = 0;
-  /// Submit: the whole corpus. SubmitJob: exactly one entry.
+  /// Submit/SubmitAsync: the whole corpus. SubmitJob: exactly one entry.
   std::vector<engine::Job> jobs;
-  /// Submit/SubmitJob: include per-phase timings + cache counters in the
-  /// results payload (off by default — diagnostics vary run to run).
+  /// Submit/SubmitJob/SubmitAsync: include per-phase timings + cache
+  /// counters in the results payload (off by default — diagnostics vary
+  /// run to run).
   bool diagnostics = false;
+  /// Poll/Wait/Cancel: the server-assigned async request id.
+  std::uint64_t request = 0;
   /// CacheTrim: 0 disables the respective limit.
   std::uint64_t trim_max_age_seconds = 0;
   std::uint64_t trim_max_total_bytes = 0;
@@ -86,5 +127,11 @@ Json make_error(std::int64_t id, const std::string& op, const std::string& messa
 
 /// Parses a response object; throws on a malformed envelope.
 Response response_from_json(Json doc);
+
+/// Human-readable rendering of a stats response body (the engine / cache
+/// / queue / server sections the stats op returns) — what
+/// `mpsched_client --stats` prints. Unknown or missing sections are
+/// simply skipped, so the formatter tolerates older servers.
+std::string format_stats(const Json& body);
 
 }  // namespace mpsched::service

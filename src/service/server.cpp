@@ -25,6 +25,7 @@
 #include "io/result_io.hpp"
 #include "service/wire.hpp"
 #include "util/strings.hpp"
+#include "util/timer.hpp"
 
 namespace mpsched::service {
 
@@ -90,6 +91,15 @@ int open_listen_socket(const std::string& path) {
   }
   return fd;
 #endif
+}
+
+Server::Session::~Session() {
+  // Uncollected async work: cancel whatever is still queued so a
+  // disconnecting client doesn't leave dead jobs ahead of live ones.
+  // Dispatched jobs run to completion regardless — their analyses warm
+  // the shared cache either way.
+  for (auto& [id, pending] : pending_)
+    for (engine::Ticket& ticket : pending.tickets) ticket.cancel();
 }
 
 Server::Server(ServerOptions options)
@@ -164,11 +174,20 @@ void Server::install_signal_handlers() {
 }
 
 Json Server::handle(const Request& request) {
+  Session throwaway;
+  return handle(request, throwaway);
+}
+
+Json Server::handle(const Request& request, Session& session) {
   try {
     switch (request.op) {
       case Op::Ping: {
         Json response = make_ok(request);
         response.set("protocol", kProtocol);
+        Json protocols = Json::array();
+        protocols.push_back(Json(kProtocolV1));
+        protocols.push_back(Json(kProtocol));
+        response.set("protocols", std::move(protocols));
         return response;
       }
 
@@ -180,18 +199,98 @@ Json Server::handle(const Request& request) {
         if (request.op == Op::SubmitJob && request.jobs.size() != 1)
           return make_error(request.id, to_text(request.op),
                             "submit_job carries exactly one job");
-        engine::BatchResult batch;
-        {
-          // One batch at a time: each batch already saturates the pool,
-          // and serialized dispatch keeps intra-batch dedup effective.
-          std::lock_guard lock(engine_mutex_);
-          batch = engine_.run_batch(request.jobs);
-        }
+        // Blocking ops ride the same admission queue as everything else:
+        // submit the tickets, wait them out. Two sessions blocking here
+        // concurrently share one coalesced dispatch instead of queueing
+        // behind a server-side mutex.
+        Timer wall;
+        engine::BatchResult batch = engine::collect_tickets(engine_.submit_batch(request.jobs));
+        batch.wall_ms = wall.millis();
+        batch.cache_stats = engine_.cache().stats();
         Json response = make_ok(request);
         if (request.op == Op::Submit)
           response.set("results", batch_to_json(batch, request.diagnostics));
         else
           response.set("result", result_to_json(batch.jobs.front(), request.diagnostics));
+        response.set("analyses_computed", batch.analyses_computed);
+        response.set("analyses_reused", batch.analyses_reused);
+        return response;
+      }
+
+      case Op::SubmitAsync: {
+        if (request.jobs.empty())
+          return make_error(request.id, to_text(request.op),
+                            "submit_async carries a non-empty corpus");
+        if (request.id != 0)
+          for (const auto& [rid, pending] : session.pending_)
+            if (pending.client_id == request.id)
+              return make_error(request.id, to_text(request.op),
+                                "duplicate id " + std::to_string(request.id) +
+                                    ": an async request with this correlation id is "
+                                    "still pending in this session");
+        Session::PendingRequest pending;
+        pending.tickets = engine_.submit_batch(request.jobs);
+        pending.diagnostics = request.diagnostics;
+        pending.client_id = request.id;
+        pending.submitted = std::chrono::steady_clock::now();
+        const std::uint64_t rid =
+            next_request_id_.fetch_add(1, std::memory_order_relaxed);
+        const std::size_t n_jobs = pending.tickets.size();
+        session.pending_.emplace(rid, std::move(pending));
+        {
+          std::lock_guard lock(counters_mutex_);
+          ++counters_.async_requests;
+        }
+        Json response = make_ok(request);
+        response.set("request", rid);
+        response.set("jobs", n_jobs);
+        response.set("queue_depth", engine_.stats().queue_depth);
+        return response;
+      }
+
+      case Op::Poll:
+      case Op::Wait:
+      case Op::Cancel: {
+        const auto it = session.pending_.find(request.request);
+        if (it == session.pending_.end())
+          return make_error(request.id, to_text(request.op),
+                            "unknown request id " + std::to_string(request.request) +
+                                " (never submitted in this session, or already "
+                                "collected by wait)");
+        Session::PendingRequest& pending = it->second;
+        Json response = make_ok(request);
+        response.set("request", request.request);
+        if (request.op == Op::Poll) {
+          std::size_t completed = 0;
+          for (const engine::Ticket& ticket : pending.tickets)
+            if (ticket.ready()) ++completed;
+          response.set("jobs", pending.tickets.size());
+          response.set("completed", completed);
+          response.set("done", completed == pending.tickets.size());
+          return response;
+        }
+        if (request.op == Op::Cancel) {
+          std::size_t cancelled = 0;
+          for (engine::Ticket& ticket : pending.tickets)
+            if (ticket.cancel()) ++cancelled;
+          response.set("jobs", pending.tickets.size());
+          response.set("cancelled", cancelled);
+          return response;
+        }
+        // Wait: consume first, then block and assemble. Consuming before
+        // collect matters: a dispatch-level exception (rethrown by every
+        // ticket of the failed dispatch, forever) must turn into ONE
+        // error response, not a permanently wedged request id the session
+        // can neither collect nor free. Cancelled tickets resolve as
+        // failed jobs, so a cancel never wedges a wait either.
+        const Session::PendingRequest consumed = std::move(pending);
+        session.pending_.erase(it);
+        engine::BatchResult batch = engine::collect_tickets(consumed.tickets);
+        batch.wall_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - consumed.submitted)
+                            .count();
+        batch.cache_stats = engine_.cache().stats();
+        response.set("results", batch_to_json(batch, consumed.diagnostics));
         response.set("analyses_computed", batch.analyses_computed);
         response.set("analyses_reused", batch.analyses_reused);
         return response;
@@ -205,6 +304,11 @@ Json Server::handle(const Request& request) {
         eng.set("jobs_succeeded", stats.jobs_succeeded);
         eng.set("analyses_computed", stats.analyses_computed);
         eng.set("analyses_reused", stats.analyses_reused);
+        eng.set("jobs_submitted", stats.jobs_submitted);
+        eng.set("jobs_cancelled", stats.jobs_cancelled);
+        eng.set("coalesced_dispatches", stats.coalesced_dispatches);
+        eng.set("queue_depth", stats.queue_depth);
+        eng.set("max_queue_depth", stats.max_queue_depth);
         Json cache = Json::object();
         cache.set("graph_hits", stats.cache.graph_hits);
         cache.set("graph_misses", stats.cache.graph_misses);
@@ -216,6 +320,7 @@ Json Server::handle(const Request& request) {
         server.set("requests", server_counters.requests);
         server.set("errors", server_counters.errors);
         server.set("sessions", server_counters.sessions);
+        server.set("async_requests", server_counters.async_requests);
 
         Json response = make_ok(request);
         response.set("engine", std::move(eng));
@@ -270,6 +375,11 @@ Json Server::handle(const Request& request) {
 }
 
 Json Server::handle_line(std::string_view line) {
+  Session throwaway;
+  return handle_line(line, throwaway);
+}
+
+Json Server::handle_line(std::string_view line, Session& session) {
   Json response;
   try {
     const Json doc = Json::parse(line);
@@ -287,7 +397,7 @@ Json Server::handle_line(std::string_view line) {
       }
       response = make_error(id, op, e.what());
     }
-    if (response.is_null()) response = handle(request);
+    if (response.is_null()) response = handle(request, session);
   } catch (const std::exception& e) {
     response = make_error(0, "unknown", std::string("bad request line: ") + e.what());
   }
@@ -305,10 +415,11 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
     std::lock_guard lock(counters_mutex_);
     ++counters_.sessions;
   }
+  Session state;
   std::string line;
   while (!stop_requested() && std::getline(in, line)) {
     if (trim(line).empty()) continue;
-    out << handle_line(line).dump(-1) << '\n' << std::flush;
+    out << handle_line(line, state).dump(-1) << '\n' << std::flush;
   }
 }
 
@@ -332,6 +443,7 @@ void Server::session(int fd, bool single_request) {
   // arrive by a fixed deadline (a deadline, not a per-poll timeout —
   // trickling one byte at a time must not reset the clock).
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  Session state;
   std::string buffer;
   std::size_t scan_from = 0;  // newline search resumes where it left off
   while (!stop_requested()) {
@@ -375,7 +487,7 @@ void Server::session(int fd, bool single_request) {
     // In-flight guarantee: once a request is being handled it runs to
     // completion and its response is flushed, stop or no stop; the loop
     // condition only gates picking up the *next* request.
-    if (!send_all(fd, handle_line(line).dump(-1) + "\n")) break;
+    if (!send_all(fd, handle_line(line, state).dump(-1) + "\n")) break;
     if (single_request) break;
   }
   ::close(fd);
@@ -458,6 +570,14 @@ void Server::serve_socket() {
   // accept failing), where the flag is not yet set and idle sessions
   // would otherwise block in poll forever.
   request_stop();
+  // Then drain the admission queue before joining: with a held queue
+  // (--hold-queue) sessions can be blocked in submit/wait on tickets the
+  // dispatcher is still deliberately sitting on — up to max_delay_ms
+  // away — and nothing below would wake it sooner. shutdown() runs the
+  // final flush now, so every blocked session resolves immediately; a
+  // session that races one more submission in gets an error response,
+  // which is what an almost-stopped daemon owes it.
+  engine_.shutdown();
   reap(true);
   ::close(listen_fd_);
   listen_fd_ = -1;

@@ -9,25 +9,33 @@
 // (stdin/stdout for `mpsched_serve --stdio`, stringstreams in tests) or
 // on a Unix-domain socket with one thread per connected client.
 //
-// Concurrency story: sessions run concurrently, the engine executes one
-// batch at a time (an internal mutex serializes Submit dispatch — each
-// batch already fans out over every pool worker, so interleaving two
-// batches would only thrash), and the cache underneath is fully
-// thread-safe. Results are the engine's: byte-identical to what a
-// one-shot mpsched_batch run would produce for the same corpus.
+// Concurrency story (protocol v2): the server is written on the engine's
+// ticket API. Blocking ops (submit, submit_job) submit tickets and wait;
+// async ops (submit_async / poll / wait / cancel) give every session a
+// pipeline of server-assigned request ids it can keep in flight. All
+// submissions — across every session — funnel into the engine's one
+// admission queue, so N clients each submitting one small job share one
+// coalesced warm dispatch, and nothing about coalescing changes any
+// result: a JobResult depends only on its Job (the engine's gated
+// determinism contract), so serve-mode results stay byte-identical to a
+// one-shot mpsched_batch run of the same corpus.
 //
 // Shutdown story: a shutdown request, SIGINT or SIGTERM (see
 // install_signal_handlers) sets a stop flag and pokes a self-pipe every
 // blocked poll() watches. In-flight requests finish and their responses
-// are flushed, sessions drain, the listener closes, and the socket file
-// is unlinked — no half-written responses, no orphaned cache temp files.
+// are flushed, sessions drain, queued jobs are drained by the engine, the
+// listener closes, and the socket file is unlinked — no half-written
+// responses, no orphaned cache temp files.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <mutex>
 #include <string>
+#include <unordered_map>
+#include <vector>
 
 #include "engine/engine.hpp"
 #include "io/service_io.hpp"
@@ -35,7 +43,8 @@
 namespace mpsched::service {
 
 struct ServerOptions {
-  /// Engine configuration (threads, cache, cache_dir, shard policy).
+  /// Engine configuration (threads, cache, cache_dir, shard policy,
+  /// coalescing policy).
   engine::EngineOptions engine;
   /// Socket path for serve_socket(). Unix-domain socket paths are
   /// length-limited (~107 bytes); open_listen_socket rejects longer ones.
@@ -53,6 +62,7 @@ struct ServerCounters {
   std::uint64_t requests = 0;  ///< lines dispatched (including failed ones)
   std::uint64_t errors = 0;    ///< responses with ok=false
   std::uint64_t sessions = 0;  ///< sessions ever started (stream or socket)
+  std::uint64_t async_requests = 0;  ///< submit_async requests accepted
 };
 
 /// Creates, binds and listens on a Unix-domain socket, replacing a stale
@@ -65,6 +75,34 @@ int open_listen_socket(const std::string& path);
 
 class Server {
  public:
+  /// Per-connection protocol state: the async requests this session has
+  /// submitted and not yet collected with wait. Request ids are
+  /// session-owned — polling another session's id is rejected exactly
+  /// like an unknown one. Sessions are single-threaded by construction
+  /// (one per connection); the engine underneath is what's shared.
+  class Session {
+   public:
+    Session() = default;
+    Session(const Session&) = delete;
+    Session& operator=(const Session&) = delete;
+    /// Cancels whatever is still queued of uncollected requests —
+    /// dispatched jobs finish (and warm the cache) either way.
+    ~Session();
+
+    std::size_t pending_requests() const { return pending_.size(); }
+
+   private:
+    friend class Server;
+    struct PendingRequest {
+      std::vector<engine::Ticket> tickets;
+      bool diagnostics = false;
+      std::int64_t client_id = 0;  ///< correlation id used at submit (0 = none)
+      /// When submit_async accepted it — wait reports wall_ms from here.
+      std::chrono::steady_clock::time_point submitted{};
+    };
+    std::unordered_map<std::uint64_t, PendingRequest> pending_;
+  };
+
   explicit Server(ServerOptions options);
   ~Server();
 
@@ -75,14 +113,19 @@ class Server {
   const ServerOptions& options() const noexcept { return options_; }
   ServerCounters counters() const;
 
-  /// Dispatches one parsed request and returns the response document.
-  /// Thread-safe. Never throws for request-level failures — those come
-  /// back as {"ok":false,"error":...} responses.
+  /// Dispatches one parsed request against a session and returns the
+  /// response document. Never throws for request-level failures — those
+  /// come back as {"ok":false,"error":...} responses. Thread-safe across
+  /// distinct sessions; a Session itself belongs to one thread.
+  Json handle(const Request& request, Session& session);
+  /// Stateless convenience (a throwaway session): fine for every v1 op;
+  /// an async request submitted through it can never be polled again.
   Json handle(const Request& request);
 
   /// Parses one NDJSON line and dispatches it. Malformed lines yield an
   /// error response instead of throwing — one bad request must not kill
   /// the session.
+  Json handle_line(std::string_view line, Session& session);
   Json handle_line(std::string_view line);
 
   /// Serves one session on [in, out]: one response line per request
@@ -120,7 +163,7 @@ class Server {
 
   ServerOptions options_;
   engine::Engine engine_;
-  std::mutex engine_mutex_;  ///< serializes Submit/SubmitJob batches
+  std::atomic<std::uint64_t> next_request_id_{1};
   mutable std::mutex counters_mutex_;
   ServerCounters counters_;
   std::atomic<bool> stop_{false};

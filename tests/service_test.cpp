@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <csignal>
 #include <filesystem>
 #include <fstream>
@@ -82,6 +83,19 @@ TEST_F(ServiceTest, RequestRoundTripIsAFixpoint) {
   one.id = 7;
   one.jobs.push_back(Job::from_workload("small_example"));
   requests.push_back(std::move(one));
+  Request async;
+  async.op = Op::SubmitAsync;
+  async.id = 8;
+  async.jobs = small_corpus();
+  async.diagnostics = true;
+  requests.push_back(std::move(async));
+  for (const Op referencing : {Op::Poll, Op::Wait, Op::Cancel}) {
+    Request r;
+    r.op = referencing;
+    r.id = 9;
+    r.request = 3;
+    requests.push_back(r);
+  }
   Request trim;
   trim.op = Op::CacheTrim;
   trim.trim_max_age_seconds = 60;
@@ -102,6 +116,7 @@ TEST_F(ServiceTest, RequestRoundTripIsAFixpoint) {
         << "op " << service::to_text(request.op);
     EXPECT_EQ(reparsed.id, request.id);
     EXPECT_EQ(reparsed.jobs.size(), request.jobs.size());
+    EXPECT_EQ(reparsed.request, request.request);
   }
 }
 
@@ -121,6 +136,13 @@ TEST_F(ServiceTest, MalformedRequestsAreRejected) {
   EXPECT_TRUE(rejected("{\"op\":\"ping\",\"id\":\"a\"}")); // non-integer id
   EXPECT_TRUE(rejected("{\"op\":\"cache_trim\",\"max_age_seconds\":-5}"));
   EXPECT_TRUE(rejected("[\"op\",\"ping\"]"));              // not an object
+  // v2 envelope strictness.
+  EXPECT_TRUE(rejected("{\"op\":\"submit_async\"}"));              // no corpus
+  EXPECT_TRUE(rejected("{\"op\":\"poll\"}"));                     // no request id
+  EXPECT_TRUE(rejected("{\"op\":\"poll\",\"request\":-1}"));      // negative id
+  EXPECT_TRUE(rejected("{\"op\":\"wait\",\"request\":\"x\"}"));   // non-integer id
+  EXPECT_TRUE(rejected("{\"op\":\"cancel\",\"request\":1,\"x\":1}"));  // unknown key
+  EXPECT_TRUE(rejected("{\"op\":\"submit_async\",\"request\":1}"));    // wrong key
 }
 
 TEST_F(ServiceTest, SubmitMatchesOneShotBatchByteForByte) {
@@ -247,6 +269,276 @@ TEST_F(ServiceTest, CacheTrimOverTheProtocol) {
   EXPECT_TRUE(server.handle(submit).at("ok").as_bool());
 }
 
+TEST_F(ServiceTest, DiagnosticsCarryRealWallTimeAndCacheCounters) {
+  // The ticket-based submit path must fill the batch-level diagnostics
+  // the v1 run_batch path used to: wall_ms and the cache snapshot — not
+  // zeros. Same for wait on an async request.
+  Server server(ServerOptions{});
+  Request submit;
+  submit.op = Op::Submit;
+  submit.jobs = small_corpus();
+  submit.diagnostics = true;
+  ASSERT_TRUE(server.handle(submit).at("ok").as_bool());
+
+  // Second (warm) submit: cache hits must show up in the diagnostics.
+  const Json warm = server.handle(submit);
+  ASSERT_TRUE(warm.at("ok").as_bool());
+  const Json& diag = warm.at("results").at("diagnostics");
+  EXPECT_GT(diag.at("wall_ms").as_double(), 0.0);
+  EXPECT_GT(diag.at("cache_analysis_hits").as_int(), 0);
+
+  Server::Session session;
+  Request async = submit;
+  async.op = Op::SubmitAsync;
+  const Json accepted = server.handle(async, session);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  Request wait;
+  wait.op = Op::Wait;
+  wait.request = static_cast<std::uint64_t>(accepted.at("request").as_int());
+  const Json finished = server.handle(wait, session);
+  ASSERT_TRUE(finished.at("ok").as_bool());
+  const Json& async_diag = finished.at("results").at("diagnostics");
+  EXPECT_GT(async_diag.at("wall_ms").as_double(), 0.0);
+  EXPECT_GT(async_diag.at("cache_analysis_hits").as_int(), 0);
+}
+
+TEST_F(ServiceTest, PingAdvertisesBothProtocols) {
+  Server server(ServerOptions{});
+  Request ping;
+  const Json response = server.handle(ping);
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("protocol").as_string(), service::kProtocol);
+  const auto& protocols = response.at("protocols").as_array();
+  ASSERT_EQ(protocols.size(), 2u);
+  EXPECT_EQ(protocols[0].as_string(), service::kProtocolV1);
+  EXPECT_EQ(protocols[1].as_string(), service::kProtocol);
+}
+
+TEST_F(ServiceTest, AsyncSubmitPollWaitLifecycle) {
+  const std::vector<Job> jobs = small_corpus();
+  engine::Engine reference;
+  const std::string expected = batch_to_json(reference.run_batch(jobs)).dump(2);
+
+  Server server(ServerOptions{});
+  Server::Session session;
+
+  Request submit;
+  submit.op = Op::SubmitAsync;
+  submit.id = 21;
+  submit.jobs = jobs;
+  const Json accepted = server.handle(submit, session);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const std::int64_t rid = accepted.at("request").as_int();
+  EXPECT_GE(rid, 1);
+  EXPECT_EQ(accepted.at("jobs").as_int(), static_cast<std::int64_t>(jobs.size()));
+  EXPECT_EQ(session.pending_requests(), 1u);
+
+  // Poll until done (the dispatch runs on the engine's own thread).
+  Request poll;
+  poll.op = Op::Poll;
+  poll.request = static_cast<std::uint64_t>(rid);
+  Json status;
+  for (int i = 0; i < 1000; ++i) {
+    status = server.handle(poll, session);
+    ASSERT_TRUE(status.at("ok").as_bool());
+    if (status.at("done").as_bool()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(status.at("done").as_bool());
+  EXPECT_EQ(status.at("completed").as_int(), static_cast<std::int64_t>(jobs.size()));
+
+  Request wait;
+  wait.op = Op::Wait;
+  wait.request = static_cast<std::uint64_t>(rid);
+  const Json finished = server.handle(wait, session);
+  ASSERT_TRUE(finished.at("ok").as_bool());
+  EXPECT_EQ(finished.at("results").dump(2), expected);
+  EXPECT_GT(finished.at("analyses_computed").as_int(), 0);
+  EXPECT_EQ(session.pending_requests(), 0u);
+
+  // wait consumed the request: a second wait (or poll) is an error.
+  const Json again = server.handle(wait, session);
+  EXPECT_FALSE(again.at("ok").as_bool());
+  EXPECT_NE(again.at("error").as_string().find("unknown request id"), std::string::npos);
+}
+
+TEST_F(ServiceTest, AsyncRequestIdsAreSessionOwned) {
+  Server server(ServerOptions{});
+  Server::Session alice, bob;
+
+  Request submit;
+  submit.op = Op::SubmitAsync;
+  submit.jobs = small_corpus();
+  const Json accepted = server.handle(submit, alice);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+
+  // Bob polling Alice's id is rejected exactly like a bogus id — request
+  // ids must not leak results across sessions.
+  Request poll;
+  poll.op = Op::Poll;
+  poll.request = static_cast<std::uint64_t>(accepted.at("request").as_int());
+  const Json foreign = server.handle(poll, bob);
+  EXPECT_FALSE(foreign.at("ok").as_bool());
+  EXPECT_NE(foreign.at("error").as_string().find("unknown request id"),
+            std::string::npos);
+  poll.request = 999999;
+  EXPECT_FALSE(server.handle(poll, alice).at("ok").as_bool());
+}
+
+TEST_F(ServiceTest, DuplicateAsyncCorrelationIdIsRejected) {
+  Server server(ServerOptions{});
+  Server::Session session;
+  Request submit;
+  submit.op = Op::SubmitAsync;
+  submit.id = 5;
+  submit.jobs = small_corpus();
+  ASSERT_TRUE(server.handle(submit, session).at("ok").as_bool());
+
+  // Same correlation id while the first request is still pending: refused.
+  const Json duplicate = server.handle(submit, session);
+  EXPECT_FALSE(duplicate.at("ok").as_bool());
+  EXPECT_NE(duplicate.at("error").as_string().find("duplicate id"), std::string::npos);
+
+  // A different id is fine, and id 0 ("no correlation") never collides.
+  submit.id = 6;
+  EXPECT_TRUE(server.handle(submit, session).at("ok").as_bool());
+  submit.id = 0;
+  EXPECT_TRUE(server.handle(submit, session).at("ok").as_bool());
+  EXPECT_TRUE(server.handle(submit, session).at("ok").as_bool());
+
+  // Collecting the first request frees its correlation id for reuse.
+  Request wait;
+  wait.op = Op::Wait;
+  wait.request = 1;
+  ASSERT_TRUE(server.handle(wait, session).at("ok").as_bool());
+  submit.id = 5;
+  EXPECT_TRUE(server.handle(submit, session).at("ok").as_bool());
+}
+
+TEST_F(ServiceTest, CancelStopsQueuedJobsAndWaitStillCollects) {
+  // Hold the queue open so the async jobs are still queued when the
+  // cancel arrives.
+  ServerOptions options;
+  options.engine.coalesce.flush_on_idle = false;
+  options.engine.coalesce.max_delay_ms = 60000;
+  options.engine.coalesce.max_jobs = 1u << 16;
+  Server server(options);
+  Server::Session session;
+
+  Request submit;
+  submit.op = Op::SubmitAsync;
+  submit.jobs = small_corpus();
+  const Json accepted = server.handle(submit, session);
+  ASSERT_TRUE(accepted.at("ok").as_bool());
+  const std::uint64_t rid = static_cast<std::uint64_t>(accepted.at("request").as_int());
+
+  Request cancel;
+  cancel.op = Op::Cancel;
+  cancel.request = rid;
+  const Json cancelled = server.handle(cancel, session);
+  ASSERT_TRUE(cancelled.at("ok").as_bool());
+  EXPECT_EQ(cancelled.at("cancelled").as_int(), 3);
+  EXPECT_EQ(cancelled.at("jobs").as_int(), 3);
+
+  // wait still collects: every job resolved as a cancellation failure.
+  Request wait;
+  wait.op = Op::Wait;
+  wait.request = rid;
+  const Json finished = server.handle(wait, session);
+  ASSERT_TRUE(finished.at("ok").as_bool());
+  const Json& results = finished.at("results");
+  EXPECT_EQ(results.at("summary").at("succeeded").as_int(), 0);
+  for (const Json& job : results.at("jobs").as_array())
+    EXPECT_NE(job.at("error").as_string().find("cancelled"), std::string::npos);
+  EXPECT_EQ(server.engine().stats().jobs_cancelled, 3u);
+}
+
+TEST_F(ServiceTest, TwoPipelinedSessionsAreByteIdentical) {
+  const std::vector<Job> jobs = small_corpus();
+  engine::Engine reference;
+  const std::string expected = batch_to_json(reference.run_batch(jobs)).dump(-1);
+
+  // Two concurrent sessions, each pipelining two async submits before
+  // collecting either — four requests in flight against the one warm
+  // engine, which is free to coalesce across all of them. Every results
+  // document must still byte-match the one-shot reference.
+  Server server(ServerOptions{});
+  std::string docs[2][2];
+  std::thread sessions[2];
+  for (int s = 0; s < 2; ++s)
+    sessions[s] = std::thread([&server, &jobs, &docs, s] {
+      Server::Session session;
+      Request submit;
+      submit.op = Op::SubmitAsync;
+      submit.jobs = jobs;
+      std::uint64_t rids[2];
+      for (int p = 0; p < 2; ++p) {
+        submit.id = p + 1;
+        const Json accepted = server.handle(submit, session);
+        ASSERT_TRUE(accepted.at("ok").as_bool());
+        rids[p] = static_cast<std::uint64_t>(accepted.at("request").as_int());
+      }
+      for (int p = 0; p < 2; ++p) {
+        Request wait;
+        wait.op = Op::Wait;
+        wait.request = rids[p];
+        const Json finished = server.handle(wait, session);
+        ASSERT_TRUE(finished.at("ok").as_bool());
+        docs[s][p] = finished.at("results").dump(-1);
+      }
+    });
+  for (std::thread& t : sessions) t.join();
+
+  for (int s = 0; s < 2; ++s)
+    for (int p = 0; p < 2; ++p)
+      EXPECT_EQ(docs[s][p], expected) << "session " << s << " request " << p;
+}
+
+TEST_F(ServiceTest, StatsReportQueueCountersAndFormat) {
+  Server server(ServerOptions{});
+  Request submit;
+  submit.op = Op::Submit;
+  submit.jobs = small_corpus();
+  ASSERT_TRUE(server.handle(submit).at("ok").as_bool());
+
+  Request stats;
+  stats.op = Op::Stats;
+  const Json body = server.handle(stats);
+  ASSERT_TRUE(body.at("ok").as_bool());
+  const Json& eng = body.at("engine");
+  EXPECT_EQ(eng.at("jobs_submitted").as_int(), 3);
+  EXPECT_EQ(eng.at("jobs_cancelled").as_int(), 0);
+  EXPECT_EQ(eng.at("queue_depth").as_int(), 0);
+  EXPECT_GE(eng.at("max_queue_depth").as_int(), 1);
+  EXPECT_GE(eng.at("coalesced_dispatches").as_int(), 0);
+  EXPECT_EQ(body.at("server").at("async_requests").as_int(), 0);
+
+  // The pretty-printer renders every section with the new counters.
+  const std::string text = service::format_stats(body);
+  EXPECT_NE(text.find("engine:"), std::string::npos);
+  EXPECT_NE(text.find("dispatches"), std::string::npos);
+  EXPECT_NE(text.find("queue:     depth 0"), std::string::npos);
+  EXPECT_NE(text.find("3 submitted"), std::string::npos);
+  EXPECT_NE(text.find("cache:"), std::string::npos);
+  EXPECT_NE(text.find("server:"), std::string::npos);
+  EXPECT_NE(text.find("async requests"), std::string::npos);
+  EXPECT_EQ(text.find("disk:"), std::string::npos);  // no disk tier attached
+
+  // With a disk tier the disk section appears.
+  ServerOptions disk_options;
+  disk_options.engine.cache_dir = cache_dir();
+  Server disk_server(disk_options);
+  ASSERT_TRUE(disk_server.handle(submit).at("ok").as_bool());
+  const std::string disk_text =
+      service::format_stats(disk_server.handle(stats));
+  EXPECT_NE(disk_text.find("disk:"), std::string::npos);
+  EXPECT_NE(disk_text.find("entries"), std::string::npos);
+
+  // The formatter is total: an empty body renders to an empty string
+  // rather than throwing — older servers simply print less.
+  EXPECT_TRUE(service::format_stats(Json::object()).empty());
+}
+
 TEST_F(ServiceTest, CacheTrimWithoutDiskTierIsAProtocolError) {
   Server server(ServerOptions{});
   Request trim;
@@ -328,6 +620,100 @@ TEST_F(ServiceTest, ConcurrentClientsGetIdenticalResults) {
     return r;
   }());
   serving.join();
+}
+
+TEST_F(ServiceTest, CrossSessionCoalescingSharesOneDispatch) {
+  // Three clients, each submitting one single-job corpus over its own
+  // socket session. The engine holds its queue until all three jobs are
+  // queued (flush_on_idle off, max_jobs = 3), so the three sessions'
+  // jobs MUST share exactly one coalesced dispatch — the "N clients, one
+  // warm dispatch" scenario the admission queue exists for.
+  ServerOptions options;
+  options.socket_path = socket_;
+  options.engine.coalesce.flush_on_idle = false;
+  options.engine.coalesce.max_delay_ms = 60000;
+  options.engine.coalesce.max_jobs = 3;
+  Server server(options);
+  server.adopt_socket(service::open_listen_socket(socket_));
+  std::thread serving([&] { server.serve_socket(); });
+
+  constexpr int kClients = 3;
+  std::string results[kClients];
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c)
+    clients.emplace_back([&, c] {
+      Client client(socket_);
+      const std::uint64_t rid =
+          client.submit_async({Job::from_workload("small_example")});
+      const Response finished = client.wait_request(rid);
+      if (finished.ok) results[c] = finished.body.at("results").dump(-1);
+    });
+  for (std::thread& t : clients) t.join();
+
+  ASSERT_FALSE(results[0].empty());
+  for (int c = 1; c < kClients; ++c) EXPECT_EQ(results[c], results[0]);
+
+  const engine::EngineStats stats = server.engine().stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.coalesced_dispatches, 1u);
+  EXPECT_EQ(stats.jobs, 3u);
+  // One client's job computed the analysis; the other two reused it
+  // within the same dispatch.
+  EXPECT_EQ(stats.analyses_computed, 1u);
+  EXPECT_EQ(stats.analyses_reused, 2u);
+
+  Client(socket_).call([] {
+    Request r;
+    r.op = Op::Shutdown;
+    return r;
+  }());
+  serving.join();
+}
+
+TEST_F(ServiceTest, ShutdownDrainsAHeldQueueWithoutWaitingOutTheDelay) {
+  // A session blocked in a submit on a held queue (its job is queued,
+  // the dispatcher deliberately waiting out a long coalescing delay)
+  // must not stall graceful shutdown: the server's stop path drains the
+  // engine queue before joining sessions, so the blocked submit resolves
+  // immediately instead of after max_delay_ms.
+  ServerOptions options;
+  options.socket_path = socket_;
+  options.engine.coalesce.flush_on_idle = false;
+  options.engine.coalesce.max_delay_ms = 30000;
+  options.engine.coalesce.max_jobs = 1u << 16;
+  Server server(options);
+  server.adopt_socket(service::open_listen_socket(socket_));
+  std::thread serving([&] { server.serve_socket(); });
+
+  std::string blocked_result_doc;
+  std::thread blocked([&] {
+    Client client(socket_);
+    Request submit;
+    submit.op = Op::Submit;
+    submit.jobs.push_back(Job::from_workload("small_example"));
+    const Response response = client.call(submit);  // held by the queue
+    if (response.ok) blocked_result_doc = response.body.at("results").dump(-1);
+  });
+  // Only shut down once the blocked client's job is actually queued.
+  while (server.engine().stats().queue_depth == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+
+  const auto before = std::chrono::steady_clock::now();
+  Client(socket_).call([] {
+    Request r;
+    r.op = Op::Shutdown;
+    return r;
+  }());
+  serving.join();
+  blocked.join();
+  const auto elapsed = std::chrono::steady_clock::now() - before;
+
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            10000);  // far below the 30 s coalescing delay
+  // The drained job ran to completion and its session got real results.
+  EXPECT_FALSE(blocked_result_doc.empty());
+  EXPECT_NE(blocked_result_doc.find("small_example"), std::string::npos);
+  EXPECT_FALSE(fs::exists(socket_));
 }
 
 TEST_F(ServiceTest, SigintFinishesInFlightWorkAndLeavesNoTempFiles) {

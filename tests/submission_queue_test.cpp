@@ -1,0 +1,352 @@
+// The asynchronous submission surface (engine/submission_queue +
+// Engine::submit): ticket lifecycle, fan-in determinism (the same corpus
+// submitted singly from concurrent threads, pre-batched, or
+// force-coalesced serializes byte-identically to one run_batch), per-job
+// analysis attribution, cancellation of queued tickets, and
+// queue-draining shutdown — the contracts ISSUE 5's tentpole promises.
+#include "engine/submission_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/engine.hpp"
+#include "io/result_io.hpp"
+#include "test_util.hpp"
+
+namespace mpsched {
+namespace {
+
+using engine::AnalysisSource;
+using engine::CoalescePolicy;
+using engine::Engine;
+using engine::EngineOptions;
+using engine::Job;
+using engine::JobResult;
+using engine::Ticket;
+using engine::TicketState;
+
+/// Mixed corpus with duplicates so dedup/attribution counters move.
+std::vector<Job> fanin_corpus() {
+  std::vector<Job> jobs;
+  jobs.push_back(Job::from_workload("paper_3dft"));
+  jobs.push_back(Job::from_workload("small_example"));
+  jobs.push_back(Job::from_workload("fir(8)"));
+  jobs.push_back(Job::from_workload("paper_3dft"));  // duplicate of jobs[0]
+  jobs.push_back(Job::from_workload("small_example"));
+  jobs.push_back(Job::from_workload("dct8"));
+  jobs.push_back(Job::from_workload("stencil5(3,3)"));
+  jobs.push_back(Job::from_workload("fir(8)"));
+  return jobs;
+}
+
+/// Options that hold the queue open: nothing flushes until max_jobs
+/// accumulate or the (long) delay expires — deterministic coalescing and
+/// a wide-open window for cancellation tests.
+EngineOptions held_queue_options(std::size_t max_jobs = 1u << 16) {
+  EngineOptions options;
+  options.coalesce.flush_on_idle = false;
+  options.coalesce.max_delay_ms = 60000;
+  options.coalesce.max_jobs = max_jobs;
+  return options;
+}
+
+/// Serializes a result list exactly like a results document does.
+std::string results_fingerprint(const std::vector<JobResult>& results) {
+  std::string out;
+  for (const JobResult& r : results) out += result_to_json(r).dump(-1) + "\n";
+  return out;
+}
+
+TEST(Ticket, DefaultConstructedIsInvalid) {
+  Ticket ticket;
+  EXPECT_FALSE(ticket.valid());
+  EXPECT_THROW(ticket.ready(), std::logic_error);
+  EXPECT_THROW(ticket.result(), std::logic_error);
+  EXPECT_THROW(ticket.cancel(), std::logic_error);
+}
+
+TEST(Ticket, SubmitRunsOneJobToCompletion) {
+  Engine engine;
+  Ticket ticket = engine.submit(Job::from_workload("small_example"));
+  ASSERT_TRUE(ticket.valid());
+  EXPECT_GE(ticket.id(), 1u);
+  ticket.wait();
+  EXPECT_TRUE(ticket.ready());
+  EXPECT_EQ(ticket.state(), TicketState::Done);
+  const JobResult& result = ticket.result();
+  EXPECT_TRUE(result.success);
+  EXPECT_EQ(result.job, "small_example");
+  EXPECT_EQ(result.analysis_source, AnalysisSource::Computed);
+  // result() is repeatable (shared state, not a one-shot future).
+  EXPECT_EQ(&ticket.result(), &result);
+
+  Engine reference;
+  EXPECT_EQ(result_to_json(result).dump(-1),
+            result_to_json(reference.run(Job::from_workload("small_example"))).dump(-1));
+}
+
+TEST(Ticket, WaitForTimesOutOnHeldQueueThenCompletes) {
+  Engine engine(held_queue_options());
+  Ticket ticket = engine.submit(Job::from_workload("small_example"));
+  EXPECT_FALSE(ticket.ready());
+  EXPECT_FALSE(ticket.wait_for(std::chrono::milliseconds(10)));
+  EXPECT_EQ(ticket.state(), TicketState::Queued);
+  engine.shutdown();  // drains: the held job executes in the final flush
+  EXPECT_TRUE(ticket.ready());
+  EXPECT_TRUE(ticket.result().success);
+}
+
+TEST(SubmissionQueue, FanInDeterminism) {
+  const std::vector<Job> jobs = fanin_corpus();
+  Engine reference;
+  const engine::BatchResult expected_batch = reference.run_batch(jobs);
+  const std::string expected = results_fingerprint(expected_batch.jobs);
+
+  // (a) one submit_batch — atomically enqueued, one dispatch.
+  {
+    Engine engine;
+    std::vector<Ticket> tickets = engine.submit_batch(jobs);
+    std::vector<JobResult> results;
+    for (Ticket& t : tickets) results.push_back(t.result());
+    EXPECT_EQ(results_fingerprint(results), expected);
+  }
+
+  // (b) single submit() calls from 4 concurrent threads — any coalescing
+  // the queue happens to do must not leak into any result.
+  {
+    Engine engine;
+    std::vector<Ticket> tickets(jobs.size());
+    std::vector<std::thread> threads;
+    std::atomic<std::size_t> next{0};
+    for (int t = 0; t < 4; ++t)
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1); i < jobs.size(); i = next.fetch_add(1))
+          tickets[i] = engine.submit(jobs[i]);
+      });
+    for (std::thread& t : threads) t.join();
+    std::vector<JobResult> results;
+    for (Ticket& t : tickets) results.push_back(t.result());
+    EXPECT_EQ(results_fingerprint(results), expected);
+  }
+
+  // (c) forced coalescing: the queue holds until all jobs are queued,
+  // then dispatches them as one shared batch.
+  {
+    Engine engine(held_queue_options(jobs.size()));
+    std::vector<Ticket> tickets;
+    for (const Job& job : jobs) tickets.push_back(engine.submit(job));
+    std::vector<JobResult> results;
+    for (Ticket& t : tickets) results.push_back(t.result());
+    EXPECT_EQ(results_fingerprint(results), expected);
+
+    const engine::EngineStats stats = engine.stats();
+    EXPECT_EQ(stats.batches, 1u);  // every submit shared one dispatch
+    EXPECT_EQ(stats.coalesced_dispatches, 1u);
+    EXPECT_EQ(stats.jobs_submitted, jobs.size());
+    EXPECT_EQ(stats.max_queue_depth, jobs.size());
+  }
+}
+
+TEST(SubmissionQueue, PerJobAttributionMatchesBatchCounters) {
+  const std::vector<Job> jobs = fanin_corpus();
+  Engine engine;
+  const engine::BatchResult batch = engine.run_batch(jobs);
+  std::size_t computed = 0, reused = 0;
+  for (const JobResult& r : batch.jobs) {
+    if (r.analysis_source == AnalysisSource::Computed) ++computed;
+    else if (r.analysis_source == AnalysisSource::Reused) ++reused;
+  }
+  EXPECT_EQ(computed, batch.analyses_computed);
+  EXPECT_EQ(reused, batch.analyses_reused);
+  EXPECT_GT(computed, 0u);
+  EXPECT_GT(reused, 0u);  // the corpus carries duplicates
+}
+
+TEST(SubmissionQueue, CancelQueuedTicket) {
+  Engine engine(held_queue_options());
+  Ticket doomed = engine.submit(Job::from_workload("small_example"));
+  Ticket survivor = engine.submit(Job::from_workload("paper_3dft"));
+
+  EXPECT_TRUE(doomed.cancel());
+  EXPECT_EQ(doomed.state(), TicketState::Cancelled);
+  EXPECT_TRUE(doomed.ready());  // cancellation resolves the ticket
+  const JobResult& result = doomed.result();
+  EXPECT_FALSE(result.success);
+  EXPECT_NE(result.error.find("cancelled"), std::string::npos);
+  EXPECT_EQ(result.job, "small_example");
+  EXPECT_FALSE(doomed.cancel());  // second cancel: already cancelled
+
+  engine.shutdown();  // drain executes only the survivor
+  EXPECT_TRUE(survivor.result().success);
+  const engine::EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.jobs_cancelled, 1u);
+  EXPECT_EQ(stats.jobs, 1u);  // the cancelled job never dispatched
+}
+
+TEST(SubmissionQueue, CancelAfterCompletionFails) {
+  Engine engine;
+  Ticket ticket = engine.submit(Job::from_workload("small_example"));
+  ticket.wait();
+  EXPECT_FALSE(ticket.cancel());
+  EXPECT_EQ(ticket.state(), TicketState::Done);
+  EXPECT_TRUE(ticket.result().success);
+}
+
+TEST(SubmissionQueue, ShutdownDrainsQueuedJobs) {
+  std::vector<Ticket> tickets;
+  {
+    Engine engine(held_queue_options());
+    for (const Job& job : fanin_corpus()) tickets.push_back(engine.submit(job));
+    for (const Ticket& t : tickets) EXPECT_FALSE(t.ready());
+    engine.shutdown();
+    for (const Ticket& t : tickets) EXPECT_TRUE(t.ready());
+
+    // Submitting after shutdown is refused loudly.
+    EXPECT_THROW(engine.submit(Job::from_workload("small_example")),
+                 std::runtime_error);
+    EXPECT_THROW(engine.run_batch(fanin_corpus()), std::runtime_error);
+    EXPECT_NO_THROW(engine.shutdown());  // idempotent
+  }
+  // Tickets outlive the engine: shared state keeps every result reachable.
+  for (const Ticket& t : tickets) EXPECT_TRUE(t.result().success);
+}
+
+TEST(SubmissionQueue, DestructorDrainsWithoutExplicitShutdown) {
+  std::vector<Ticket> tickets;
+  {
+    Engine engine(held_queue_options());
+    for (const Job& job : fanin_corpus()) tickets.push_back(engine.submit(job));
+  }  // ~Engine: queue drains, every promise resolves — ASan gates leaks
+  for (const Ticket& t : tickets) {
+    EXPECT_TRUE(t.ready());
+    EXPECT_TRUE(t.result().success);
+  }
+}
+
+TEST(SubmissionQueue, HeldQueueFlushesAtMaxJobs) {
+  // Held queue (flush_on_idle off, long delay): nothing dispatches until
+  // max_jobs accumulate, so 8 rapid submits with max_jobs=4 flush at
+  // most twice — strictly fewer dispatches than jobs.
+  EngineOptions options;
+  options.coalesce.flush_on_idle = false;
+  options.coalesce.max_delay_ms = 60000;
+  options.coalesce.max_jobs = 4;
+  Engine engine(options);
+  std::vector<Ticket> tickets;
+  for (const Job& job : fanin_corpus()) tickets.push_back(engine.submit(job));
+  for (Ticket& t : tickets) t.wait();
+  const engine::EngineStats stats = engine.stats();
+  EXPECT_LT(stats.batches, tickets.size());
+  EXPECT_GE(stats.coalesced_dispatches, 1u);
+}
+
+TEST(SubmissionQueue, FlushOnIdleCoalescesWhileDispatchInFlight) {
+  // The DEFAULT policy's coalescing mode: a lone submission dispatches
+  // immediately, and whatever arrives while that dispatch is executing
+  // accumulates and rides the next flush together. Tested on a raw
+  // SubmissionQueue whose dispatch function blocks on a test-controlled
+  // gate, so "while the dispatch is in flight" is deterministic, not a
+  // timing accident.
+  std::mutex mutex;
+  std::condition_variable cv;
+  int dispatches_entered = 0;
+  bool release = false;
+  engine::SubmissionQueue queue(
+      [&](std::vector<Job> jobs) {
+        {
+          std::unique_lock lock(mutex);
+          ++dispatches_entered;
+          cv.notify_all();
+          cv.wait(lock, [&] { return release; });
+        }
+        std::vector<JobResult> results;
+        for (const Job& job : jobs) {
+          JobResult r;
+          r.job = job.resolved_name();
+          r.success = true;
+          results.push_back(std::move(r));
+        }
+        return results;
+      },
+      engine::CoalescePolicy{});  // the defaults: flush_on_idle
+
+  Ticket first = queue.submit(Job::from_workload("small_example"));
+  {
+    // The first job flushed alone, immediately — the dispatcher was idle.
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return dispatches_entered == 1; });
+  }
+  EXPECT_EQ(first.state(), TicketState::Dispatched);
+
+  std::vector<Ticket> rest;
+  for (int i = 0; i < 4; ++i)
+    rest.push_back(queue.submit(Job::from_workload("small_example")));
+  EXPECT_EQ(queue.stats().queue_depth, 4u);  // queued behind the in-flight dispatch
+
+  {
+    std::lock_guard lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  first.wait();
+  for (Ticket& t : rest) t.wait();
+
+  const engine::SubmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.dispatches, 2u);  // 1 solo + 1 shared, never 5
+  EXPECT_EQ(stats.coalesced_dispatches, 1u);
+  EXPECT_EQ(stats.jobs_dispatched, 5u);
+  for (Ticket& t : rest) EXPECT_EQ(t.result().job, "small_example");
+}
+
+TEST(SubmissionQueue, RunBatchSharesTheQueueWithAsyncSubmits) {
+  // A run_batch() issued while async tickets are queued must not disturb
+  // them — everyone resolves, everyone is correct.
+  Engine engine(held_queue_options(/*max_jobs=*/3));
+  Ticket async1 = engine.submit(Job::from_workload("paper_3dft"));
+  Ticket async2 = engine.submit(Job::from_workload("dct8"));
+  const engine::BatchResult batch =
+      engine.run_batch({Job::from_workload("small_example")});
+  ASSERT_EQ(batch.jobs.size(), 1u);
+  EXPECT_TRUE(batch.jobs.front().success);
+  EXPECT_TRUE(async1.result().success);
+  EXPECT_TRUE(async2.result().success);
+  EXPECT_EQ(engine.stats().batches, 1u);  // all three shared one dispatch
+}
+
+TEST(SubmissionQueue, InvalidCoalescePolicyIsRejected) {
+  EngineOptions options;
+  options.coalesce.max_jobs = 0;
+  EXPECT_THROW(Engine{options}, std::invalid_argument);
+
+  // Holding the queue with a zero delay would expire instantly — the
+  // caller asked for coalescing and would silently get none.
+  EngineOptions hold;
+  hold.coalesce.flush_on_idle = false;
+  hold.coalesce.max_delay_ms = 0;
+  EXPECT_THROW(Engine{hold}, std::invalid_argument);
+}
+
+TEST(SubmissionQueue, ShutdownBeforeFirstSubmitStillLatches) {
+  // shutdown() on an engine whose queue was never started must still
+  // make later submissions throw — not silently spin up a fresh queue.
+  Engine engine;
+  engine.shutdown();
+  EXPECT_THROW(engine.submit(Job::from_workload("small_example")), std::runtime_error);
+  EXPECT_THROW(engine.run_batch({Job::from_workload("small_example")}),
+               std::runtime_error);
+}
+
+TEST(SubmissionQueue, EmptySubmitBatchYieldsNoTickets) {
+  Engine engine;
+  EXPECT_TRUE(engine.submit_batch({}).empty());
+  EXPECT_EQ(engine.stats().jobs_submitted, 0u);
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -3,8 +3,9 @@
 // Usage:
 //   mpsched_client --socket PATH --corpus FILE [--out FILE] [--diagnostics]
 //                  [--compact] [--require-full-cache]
+//                  [--async [--pipeline N]]
 //   mpsched_client --socket PATH --ping
-//   mpsched_client --socket PATH --stats
+//   mpsched_client --socket PATH --stats [--json]
 //   mpsched_client --socket PATH --cache-trim [--trim-age SECONDS]
 //                  [--trim-max-bytes BYTES]
 //   mpsched_client --socket PATH --shutdown [--wait-exit-ms MS]
@@ -15,11 +16,22 @@
 // of its own, so `cmake -E compare_files` against a one-shot batch run
 // is the correctness gate. --require-full-cache exits nonzero unless the
 // daemon answered entirely from its warm cache (zero analyses computed).
+//
+// --async switches to the v2 pipelined flow: the corpus is submitted
+// with submit_async (--pipeline N submits it N times, all in flight on
+// this one session before anything is collected), each request is
+// poll()ed once to exercise the non-blocking path, then wait()ed in
+// submission order. All N results documents must be byte-identical —
+// the engine's coalescing determinism contract — and the first is what
+// --out receives, so the byte-compare against a one-shot batch run gates
+// the async path exactly like the blocking one.
+//
 // --shutdown requests a graceful stop and waits until the daemon has
 // actually exited (socket closed and unlinked).
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "cli_common.hpp"
 #include "service/client.hpp"
@@ -33,8 +45,8 @@ int usage(const char* argv0) {
   std::printf(
       "usage:\n"
       "  %s --socket PATH --corpus FILE [--out FILE] [--diagnostics] [--compact]\n"
-      "     [--require-full-cache]\n"
-      "  %s --socket PATH --ping | --stats\n"
+      "     [--require-full-cache] [--async [--pipeline N]]\n"
+      "  %s --socket PATH --ping | --stats [--json]\n"
       "  %s --socket PATH --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n"
       "  %s --socket PATH --shutdown [--wait-exit-ms MS]\n",
       argv0, argv0, argv0, argv0);
@@ -51,12 +63,36 @@ const Json& require_ok(const service::Response& response) {
 }
 const Json& require_ok(service::Response&&) = delete;
 
+/// Shared tail of both submit flows: print the summary line, write
+/// --out, enforce --require-full-cache, and derive the exit code.
+int finish_submit(const Json& results, std::int64_t computed, std::int64_t reused,
+                  const std::string& out_path, bool compact, bool require_full_cache) {
+  const Json& summary = results.at("summary");
+  std::printf("%lld/%lld jobs succeeded (analyses: %lld computed, %lld reused)\n",
+              static_cast<long long>(summary.at("succeeded").as_int()),
+              static_cast<long long>(summary.at("jobs").as_int()),
+              static_cast<long long>(computed), static_cast<long long>(reused));
+  if (!out_path.empty()) {
+    save_json(results, out_path, compact ? -1 : 2);
+    std::printf("results written to %s\n", out_path.c_str());
+  }
+  if (require_full_cache && computed != 0) {
+    std::printf("error: --require-full-cache, but the server computed %lld analyses "
+                "instead of serving them from its warm cache\n",
+                static_cast<long long>(computed));
+    return 1;
+  }
+  return summary.at("succeeded").as_int() == summary.at("jobs").as_int() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string socket_path, corpus_path, out_path;
   bool ping = false, stats = false, cache_trim = false, shutdown = false;
   bool diagnostics = false, compact = false, require_full_cache = false;
+  bool async = false, stats_json = false;
+  std::size_t pipeline = 1;
   std::size_t trim_age = 0, trim_max_bytes = 0, wait_exit_ms = 10000;
 
   try {
@@ -69,8 +105,11 @@ int main(int argc, char** argv) {
       else if (arg == "--diagnostics") diagnostics = true;
       else if (arg == "--compact") compact = true;
       else if (arg == "--require-full-cache") require_full_cache = true;
+      else if (arg == "--async") async = true;
+      else if (arg == "--pipeline") pipeline = size_flag(arg, value(), 1024);
       else if (arg == "--ping") ping = true;
       else if (arg == "--stats") stats = true;
+      else if (arg == "--json") stats_json = true;
       else if (arg == "--cache-trim") cache_trim = true;
       else if (arg == "--trim-age")
         trim_age = size_flag(arg, value(), cli::kMaxTrimAgeSeconds);
@@ -93,6 +132,22 @@ int main(int argc, char** argv) {
       std::printf("error: --trim-age/--trim-max-bytes require --cache-trim\n");
       return 2;
     }
+    if ((async || pipeline != 1) && corpus_path.empty()) {
+      std::printf("error: --async/--pipeline require --corpus\n");
+      return 2;
+    }
+    if (pipeline != 1 && !async) {
+      std::printf("error: --pipeline requires --async\n");
+      return 2;
+    }
+    if (pipeline == 0) {
+      std::printf("error: --pipeline must be at least 1\n");
+      return 2;
+    }
+    if (stats_json && !stats) {
+      std::printf("error: --json requires --stats\n");
+      return 2;
+    }
 
     service::Client client(socket_path);
 
@@ -112,7 +167,10 @@ int main(int argc, char** argv) {
       request.id = 1;
       const service::Response response = client.call(request);
       const Json& body = require_ok(response);
-      std::printf("%s\n", body.dump(2).c_str());
+      if (stats_json)
+        std::printf("%s\n", body.dump(2).c_str());
+      else
+        std::fputs(service::format_stats(body).c_str(), stdout);
       return 0;
     }
 
@@ -149,8 +207,68 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    // Submit: the corpus document travels verbatim — the server parses
-    // and validates; this side only wraps it in the request envelope.
+    if (async) {
+      // Pipelined v2 flow: every request goes out before anything is
+      // collected, so the daemon holds `pipeline` requests of this one
+      // session in flight (and may coalesce their jobs into shared
+      // dispatches — with any other session's).
+      const Json corpus_doc = load_json(corpus_path);
+      std::vector<std::uint64_t> requests;
+      for (std::size_t p = 0; p < pipeline; ++p) {
+        Json request_doc = Json::object();
+        request_doc.set("op", "submit_async");
+        request_doc.set("id", static_cast<std::int64_t>(p + 1));
+        request_doc.set("corpus", corpus_doc);
+        if (diagnostics) request_doc.set("diagnostics", true);
+        const service::Response response =
+            service::response_from_json(client.call_raw(request_doc));
+        const Json& body = require_ok(response);
+        requests.push_back(static_cast<std::uint64_t>(body.at("request").as_int()));
+        std::printf("request %llu accepted (%lld jobs, queue depth %lld)\n",
+                    static_cast<unsigned long long>(requests.back()),
+                    static_cast<long long>(body.at("jobs").as_int()),
+                    static_cast<long long>(body.at("queue_depth").as_int()));
+      }
+      // One poll per request — the non-blocking path must answer whether
+      // or not the dispatch has happened yet.
+      for (const std::uint64_t r : requests) {
+        const service::Response polled = client.poll(r);
+        const Json& body = require_ok(polled);
+        std::printf("request %llu: %lld/%lld jobs done\n",
+                    static_cast<unsigned long long>(r),
+                    static_cast<long long>(body.at("completed").as_int()),
+                    static_cast<long long>(body.at("jobs").as_int()));
+      }
+      std::string first_doc;
+      std::int64_t computed = 0, reused = 0;
+      Json first_results;
+      for (std::size_t p = 0; p < requests.size(); ++p) {
+        const service::Response response = client.wait_request(requests[p]);
+        const Json& body = require_ok(response);
+        computed += body.at("analyses_computed").as_int();
+        reused += body.at("analyses_reused").as_int();
+        const Json& results = body.at("results");
+        const std::string doc = results.dump(-1);
+        if (p == 0) {
+          first_doc = doc;
+          first_results = results;
+        } else if (!diagnostics && doc != first_doc) {
+          // Only the deterministic surface is comparable: --diagnostics
+          // adds per-run timings and cache counters that legitimately
+          // differ between pipelined requests.
+          std::printf("error: pipelined request %llu produced different results than "
+                      "request %llu — coalescing broke determinism\n",
+                      static_cast<unsigned long long>(requests[p]),
+                      static_cast<unsigned long long>(requests[0]));
+          return 1;
+        }
+      }
+      return finish_submit(first_results, computed, reused, out_path, compact,
+                           require_full_cache);
+    }
+
+    // Blocking submit: the corpus document travels verbatim — the server
+    // parses and validates; this side only wraps it in the request envelope.
     Json request_doc = Json::object();
     request_doc.set("op", "submit");
     request_doc.set("id", 1);
@@ -159,26 +277,9 @@ int main(int argc, char** argv) {
     const service::Response response =
         service::response_from_json(client.call_raw(request_doc));
     const Json& body = require_ok(response);
-
-    const Json& results = body.at("results");
-    const std::int64_t computed = body.at("analyses_computed").as_int();
-    const std::int64_t reused = body.at("analyses_reused").as_int();
-    const Json& summary = results.at("summary");
-    std::printf("%lld/%lld jobs succeeded (analyses: %lld computed, %lld reused)\n",
-                static_cast<long long>(summary.at("succeeded").as_int()),
-                static_cast<long long>(summary.at("jobs").as_int()),
-                static_cast<long long>(computed), static_cast<long long>(reused));
-    if (!out_path.empty()) {
-      save_json(results, out_path, compact ? -1 : 2);
-      std::printf("results written to %s\n", out_path.c_str());
-    }
-    if (require_full_cache && computed != 0) {
-      std::printf("error: --require-full-cache, but the server computed %lld analyses "
-                  "instead of serving them from its warm cache\n",
-                  static_cast<long long>(computed));
-      return 1;
-    }
-    return summary.at("succeeded").as_int() == summary.at("jobs").as_int() ? 0 : 1;
+    return finish_submit(body.at("results"), body.at("analyses_computed").as_int(),
+                         body.at("analyses_reused").as_int(), out_path, compact,
+                         require_full_cache);
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 1;

@@ -9,8 +9,16 @@
 // Usage:
 //   mpsched_serve --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]
 //                 [--shard-policy uniform|adaptive] [--max-clients N]
+//                 [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]
 //                 [--daemonize]
 //   mpsched_serve --stdio [same engine flags]
+//
+// Coalescing: every submission (blocking or async, any session) rides the
+// engine's admission queue. By default a lone job dispatches immediately
+// and coalescing only happens while a dispatch is already executing;
+// --hold-queue makes the queue wait --coalesce-delay-ms (or until
+// --coalesce-jobs are queued) before every dispatch — maximal batching
+// for fan-in traffic at the price of added latency per request.
 //
 // --socket serves concurrent clients on a Unix-domain socket
 // (mpsched_client is the matching CLI); --stdio serves a single session
@@ -46,7 +54,9 @@ int usage(const char* argv0) {
   std::printf(
       "usage:\n"
       "  %s --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]\n"
-      "     [--shard-policy uniform|adaptive] [--max-clients N] [--daemonize]\n"
+      "     [--shard-policy uniform|adaptive] [--max-clients N]\n"
+      "     [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]\n"
+      "     [--daemonize]\n"
       "  %s --stdio [same engine flags]\n",
       argv0, argv0);
   return 2;
@@ -84,6 +94,8 @@ int main(int argc, char** argv) {
   std::string socket_path, cache_dir;
   std::size_t threads = 0, max_clients = 16;
   engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
+  engine::CoalescePolicy coalesce;
+  bool coalesce_flags_given = false;
   bool no_cache = false, stdio = false, daemonize = false;
 
   try {
@@ -97,6 +109,13 @@ int main(int argc, char** argv) {
       else if (arg == "--cache-dir") cache_dir = value();
       else if (arg == "--shard-policy") shard_policy = shard_policy_from(value());
       else if (arg == "--max-clients") max_clients = size_flag(arg, value(), 1024);
+      else if (arg == "--coalesce-jobs") {
+        coalesce.max_jobs = size_flag(arg, value(), 1u << 20);
+        coalesce_flags_given = true;
+      } else if (arg == "--coalesce-delay-ms") {
+        coalesce.max_delay_ms = size_flag(arg, value(), 60000);
+        coalesce_flags_given = true;
+      } else if (arg == "--hold-queue") coalesce.flush_on_idle = false;
       else if (arg == "--daemonize") daemonize = true;
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
       else {
@@ -121,12 +140,28 @@ int main(int argc, char** argv) {
       std::printf("error: --daemonize requires --socket\n");
       return 2;
     }
+    if (coalesce.max_jobs == 0) {
+      std::printf("error: --coalesce-jobs must be at least 1\n");
+      return 2;
+    }
+    if (!coalesce.flush_on_idle && coalesce.max_delay_ms == 0) {
+      std::printf("error: --hold-queue requires --coalesce-delay-ms (a zero hold "
+                  "expires instantly, disabling the coalescing you asked for)\n");
+      return 2;
+    }
+    if (coalesce.flush_on_idle && coalesce_flags_given) {
+      std::printf("error: --coalesce-jobs/--coalesce-delay-ms require --hold-queue "
+                  "(without it the queue never holds, so the knobs would be "
+                  "silently inert)\n");
+      return 2;
+    }
 
     service::ServerOptions options;
     options.engine.threads = threads;
     options.engine.use_cache = !no_cache;
     options.engine.cache_dir = cache_dir;
     options.engine.shard_policy = shard_policy;
+    options.engine.coalesce = coalesce;
     options.socket_path = socket_path;
     options.max_sessions = max_clients;
 
