@@ -53,7 +53,7 @@ int main() {
   cases.push_back({"FIR16", workloads::fir_filter(16), 9, 10, 113, 112});
   cases.push_back({"matmul3", workloads::matmul(3), 10, 10, 132, 131});
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_f1_vs_f2");
   TextTable t({"workload", "sel F1", "sel F2", "rnd F1 (mean)", "rnd F2 (mean)"});
   double f1_total = 0, f2_total = 0;
   for (const auto& w : cases) {

@@ -53,7 +53,7 @@ int main() {
       {8, 8, 8, 0, 33},    // FIR16 Pdef=2
   };
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_refinement");
   TextTable t({"workload", "Pdef", "greedy", "refined", "oracle", "swaps", "evals"});
   std::size_t row = 0;
   for (const auto& w : cases) {

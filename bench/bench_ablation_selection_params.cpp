@@ -48,7 +48,7 @@ int main() {
   workloads.push_back({"FFT8", workloads::radix2_fft(8), 13, 13});
   workloads.push_back({"DCT8", workloads::dct8(), 11, 9});
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_selection_params");
 
   std::printf("--- size-bonus ablation (ε=0.5, α=20) ---\n");
   TextTable t1({"workload", "Pdef", "quadratic (paper)", "linear", "none"});

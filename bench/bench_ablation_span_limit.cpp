@@ -60,7 +60,7 @@ int main() {
       {1591187, {13, 13, 14, 14, 14}},  // limit 3
   };
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_span_limit");
   std::size_t pinned_row = 0;
   for (const auto& w : cases) {
     std::printf("\n--- %s (%zu nodes) ---\n", w.name, w.dfg.node_count());

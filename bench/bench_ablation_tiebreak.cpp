@@ -36,7 +36,7 @@ int main() {
   cases.push_back({"DCT8", workloads::dct8(), 9});
   cases.push_back({"matmul3", workloads::matmul(3), 10});
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_tiebreak");
   TextTable t({"workload", "stable (paper)", "id asc", "id desc", "random min..max"});
   for (const auto& w : cases) {
     SelectOptions so;

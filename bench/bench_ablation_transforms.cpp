@@ -71,7 +71,7 @@ int main() {
       {45, 10, 7, 73}, {45, 10, 7, 73}, {27, 7, 7, 55}, {27, 7, 7, 55},   // matmul3
   };
 
-  bench::Gate gate;
+  bench::Gate gate("ablation_transforms");
   TextTable t({"workload", "phases", "ops", "cycles", "reconfigs", "energy"});
   std::size_t row = 0;
   for (const auto& w : cases) {

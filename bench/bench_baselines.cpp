@@ -44,6 +44,7 @@ int main() {
 
   TextTable t({"workload", "nodes", "mp cycles", "mp patterns", "list cycles",
                "list patterns", "fds cycles", "fds patterns", "optimal(mp set)"});
+  bench::Gate gate("baselines");
   for (const auto& w : cases) {
     SelectOptions so;
     so.pattern_count = 4;
@@ -67,11 +68,23 @@ int main() {
     t.add(w.name, w.dfg.node_count(), mp.success ? mp.cycles : 0, sel.patterns.size(),
           list.cycles, list.induced.size(), fds.success ? fds.cycles : 0,
           fds.induced.size(), optimal);
+
+    // Trajectory cells: the comparison is deterministic, so drift in any
+    // scheduler shows up in the BENCH_*.json diff even though this
+    // ablation deliberately pins nothing (baselines are informational).
+    gate.workload(w.name);
+    gate.check(mp.success, "multi-pattern schedule succeeds");
+    gate.info("mp cycles", static_cast<std::int64_t>(mp.success ? mp.cycles : 0));
+    gate.info("mp patterns", static_cast<std::int64_t>(sel.patterns.size()));
+    gate.info("list cycles", static_cast<std::int64_t>(list.cycles));
+    gate.info("list patterns", static_cast<std::int64_t>(list.induced.size()));
+    gate.info("fds cycles", static_cast<std::int64_t>(fds.success ? fds.cycles : 0));
+    gate.info("fds patterns", static_cast<std::int64_t>(fds.induced.size()));
   }
   std::fputs(t.to_string().c_str(), stdout);
   std::printf(
       "\nReading: unlimited-pattern baselines win a cycle or two but burn many\n"
       "configuration-store entries; the multi-pattern scheduler holds Pdef=4 entries\n"
       "while staying close to the exact optimum for its own pattern set.\n");
-  return 0;
+  return gate.finish("Ablation D — multi-pattern vs baselines (8 workloads)");
 }

@@ -75,7 +75,7 @@ int main() {
   for (const engine::Job& job : jobs) std::printf(" %s", job.workload.c_str());
   std::printf("\n\n");
 
-  bench::Gate gate;
+  bench::Gate gate("engine_batch");
 
   // Warm-up pass so first-touch effects (pool spin-up, page faults) hit
   // neither contestant. Timings take the best of two passes each, so one
@@ -133,9 +133,12 @@ int main() {
              "duplicate graphs were deduplicated (analyses_reused > 0)");
 
   // ---- the acceptance criterion: throughput >= one-job-at-a-time --------
-  gate.check(engine_ms <= seq_ms,
-             "engine batch (" + std::to_string(engine_ms) + " ms) is no slower than the " +
-                 "sequential loop (" + std::to_string(seq_ms) + " ms)");
+  // The metric string must be run-independent (it keys the BENCH_*.json
+  // trajectory cell); the measured times ride along as info cells.
+  std::printf("engine batch %.3f ms vs sequential loop %.3f ms\n", engine_ms, seq_ms);
+  gate.info("engine batch ms", engine_ms);
+  gate.info("sequential loop ms", seq_ms);
+  gate.check(engine_ms <= seq_ms, "engine batch is no slower than the sequential loop");
 
   // ---- determinism: identical JSON across threads and cache settings ----
   std::string reference = batch_to_json(batched).dump();

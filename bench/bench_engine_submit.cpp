@@ -49,7 +49,7 @@ int main() {
   for (const std::string& spec : workloads::demo_corpus_specs())
     jobs.push_back(engine::Job::from_workload(spec));
 
-  bench::Gate gate;
+  bench::Gate gate("engine_submit");
 
   // Reference: one plain batched execution.
   engine::Engine reference;

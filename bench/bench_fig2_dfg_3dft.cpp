@@ -18,6 +18,14 @@ int main() {
   const Dfg dfg = workloads::paper_3dft();
   std::fputs(compute_stats(dfg).to_string(dfg).c_str(), stdout);
 
+  // Structural pins: the reconstruction's shape (24 operations, as Table 5's
+  // 24 size-1 antichains require), recorded into the BENCH_*.json trajectory
+  // alongside the stdout rendering.
+  bench::Gate gate("fig2_dfg_3dft");
+  gate.workload("3DFT");
+  gate.check_eq(24, static_cast<long long>(dfg.node_count()), "node count");
+  gate.info("edge count", static_cast<std::int64_t>(dfg.edge_count()));
+
   std::printf("\n--- .dfg serialization (node order = paper numbering) ---\n%s",
               dfg_to_text(dfg).c_str());
 
@@ -26,5 +34,5 @@ int main() {
   std::printf("\n--- Graphviz DOT (xlabel = asap/alap/height) ---\n%s",
               to_dot(dfg, options).c_str());
   std::printf("Render with: dot -Tpdf fig2.dot -o fig2.pdf\n");
-  return 0;
+  return gate.finish("Fig. 2 (3DFT reconstruction shape)");
 }

@@ -50,7 +50,7 @@ int main() {
   };
 
   TextTable t({"iteration", "candidate", "f paper", "f ours", "match"});
-  bench::Gate gate;
+  bench::Gate gate("fig4_selection_walkthrough");
   for (const auto& e : expected) {
     const double ours = priority_of(result.steps[e.iteration], dfg, e.pattern);
     // Eq. 8 on this example is exact integer arithmetic in doubles; the

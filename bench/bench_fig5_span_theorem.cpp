@@ -123,7 +123,7 @@ int main() {
   };
 
   TextTable t({"graph", "span", "antichains", "Thm-1 bound", "bound tight", "violations"});
-  bench::Gate gate;
+  bench::Gate gate("fig5_span_theorem");
   run_graph("3DFT", workloads::paper_3dft(), t, gate, expected_3dft,
             std::size(expected_3dft));
   workloads::LayeredDagOptions dag_options;

@@ -2,15 +2,26 @@
 // antichain enumeration (sequential vs shared-pool parallel), transitive
 // closure, pattern selection end-to-end, and the multi-pattern scheduler —
 // across graph sizes.
+//
+// main() additionally pins the arena-enumerator speedup: the word-parallel
+// scratch-arena walk must beat the reference (copy-a-bitset-per-node)
+// enumerator by ≥2× on the Fig. 5 span workload, single shard, with
+// byte-identical analysis output — and writes the BENCH_perf_scaling.json
+// trajectory cell for it.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
+#include "bench_common.hpp"
 #include "antichain/analytic.hpp"
 #include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "core/select.hpp"
 #include "graph/closure.hpp"
 #include "pattern/random.hpp"
+#include "util/timer.hpp"
 #include "workloads/dft.hpp"
+#include "workloads/paper_graphs.hpp"
 #include "workloads/random_dag.hpp"
 
 namespace {
@@ -119,6 +130,95 @@ void BM_ScheduleFft(benchmark::State& state) {
 }
 BENCHMARK(BM_ScheduleFft)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+/// True when the two analyses are field-by-field identical (the same
+/// contract test_util's expect_analysis_identical asserts in gtest).
+bool analyses_identical(const AntichainAnalysis& a, const AntichainAnalysis& b) {
+  if (a.total != b.total || a.count_by_size_span != b.count_by_size_span ||
+      a.per_pattern.size() != b.per_pattern.size())
+    return false;
+  for (std::size_t i = 0; i < a.per_pattern.size(); ++i) {
+    const PatternAntichains& x = a.per_pattern[i];
+    const PatternAntichains& y = b.per_pattern[i];
+    if (!(x.pattern == y.pattern) || x.antichain_count != y.antichain_count ||
+        x.node_frequency != y.node_frequency || x.members != y.members)
+      return false;
+  }
+  return true;
+}
+
+/// Best-of-reps wall time of `fn`, with enough inner iterations per rep to
+/// dominate clock noise. Minimum (not mean) so co-scheduled load only ever
+/// inflates, never deflates, a measurement.
+template <typename Fn>
+double best_seconds(Fn&& fn, int iterations, int reps) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    mpsched::Timer timer;
+    for (int i = 0; i < iterations; ++i) fn();
+    best = std::min(best, timer.seconds() / iterations);
+  }
+  return best;
+}
+
+/// The pinned arena-vs-reference enumeration gate on the Fig. 5 span
+/// workload (3DFT, max_size 4 — the population Theorem 1 is checked over),
+/// single shard (parallel off), exercised through both public entry points.
+int run_enumeration_speedup_gate() {
+  bench::Gate gate("perf_scaling");
+  gate.workload("fig5-span-3dft");
+
+  const Dfg g = workloads::paper_3dft();
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+  EnumerateOptions options;
+  options.max_size = 4;
+  options.parallel = false;
+
+  // Byte-identity first: the representation change must be invisible in
+  // the analysis (member lists included).
+  {
+    EnumerateOptions with_members = options;
+    with_members.collect_members = true;
+    const AntichainAnalysis ref = enumerate_antichains_reference(g, lv, reach, with_members);
+    const AntichainAnalysis arena = enumerate_antichains(g, lv, reach, with_members);
+    gate.check(analyses_identical(ref, arena),
+               "arena enumerator byte-identical to reference (collect_members)");
+    gate.check_eq(3808, static_cast<long long>(arena.total),
+                  "fig5 span workload antichain population");
+  }
+
+  // Calibrate the inner iteration count off the reference walk so one rep
+  // lasts ~50ms on any build type (Release and ASan/Debug legs both time
+  // meaningfully), then take best-of-5 for both kernels.
+  mpsched::Timer calibrate;
+  (void)enumerate_antichains_reference(g, lv, reach, options);
+  const double once = std::max(calibrate.seconds(), 1e-6);
+  const int iterations = std::clamp(static_cast<int>(0.05 / once), 1, 200);
+
+  const double ref_s = best_seconds(
+      [&] { benchmark::DoNotOptimize(enumerate_antichains_reference(g, lv, reach, options)); },
+      iterations, 5);
+  const double arena_s = best_seconds(
+      [&] { benchmark::DoNotOptimize(enumerate_antichains(g, lv, reach, options)); },
+      iterations, 5);
+  const double speedup = ref_s / arena_s;
+
+  std::printf("\nFig. 5 span workload, single shard: reference %.3f ms, arena %.3f ms, "
+              "speedup %.2fx\n",
+              ref_s * 1e3, arena_s * 1e3, speedup);
+  gate.info("reference enumerate ms", ref_s * 1e3);
+  gate.info("arena enumerate ms", arena_s * 1e3);
+  gate.check_min(2.0, speedup, "single-shard enumeration speedup (arena vs reference)");
+
+  return gate.finish("perf scaling (arena enumerator identity + pinned >=2x speedup)");
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return run_enumeration_speedup_gate();
+}

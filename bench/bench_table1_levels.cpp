@@ -33,7 +33,7 @@ int main() {
 
   TextTable t({"node", "asap (paper/ours)", "alap (paper/ours)", "height (paper/ours)",
                "match"});
-  bench::Gate gate;
+  bench::Gate gate("table1_levels");
   int matched_rows = 0;
   for (const Row& row : paper_rows) {
     const NodeId n = *dfg.find_node(row.name);

@@ -40,7 +40,7 @@ int main() {
   options.tie_break = TieBreak::Stable;
   options.record_trace = true;
   const MpScheduleResult result = multi_pattern_schedule(dfg, patterns, options);
-  bench::Gate gate;
+  bench::Gate gate("table2_trace");
   gate.check(result.success, "scheduling succeeded" +
                                  (result.success ? std::string() : ": " + result.error));
   if (!result.success) return gate.finish("Table 2 (scheduling failed)");

@@ -33,7 +33,7 @@ int main() {
       {"{a,b,c,c,c} {a,a,b,a,c} {c,c,c,a,a} {a,b,a,b,b}", 7, 6},
   };
 
-  bench::Gate gate;
+  bench::Gate gate("table3_pattern_sets");
   TextTable t({"patterns", "paper", "ours", "match"});
   std::vector<std::size_t> ours;
   for (const Case& c : cases) {

@@ -35,7 +35,7 @@ int main() {
   // Every cell is pinned: the Fig. 4 example is published in full, so the
   // pattern list, each antichain membership list, and each count must
   // reproduce exactly.
-  bench::Gate gate;
+  bench::Gate gate("table4_small_example");
   TextTable t({"pattern", "antichains (ours)", "count paper/ours", "match"});
   for (const Row& row : paper) {
     std::string rendered = "-";

@@ -33,7 +33,7 @@ int main() {
   const AntichainAnalysis analysis = enumerate_antichains(dfg, options);
 
   TextTable t({"span limit", "size 1", "size 2", "size 3", "size 4", "size 5"});
-  bench::Gate gate;
+  bench::Gate gate("table5_antichain_counts");
   int exact_cells = 0;
   for (int limit = 4; limit >= 0; --limit) {
     std::vector<std::string> row{"<= " + std::to_string(limit)};

@@ -30,7 +30,7 @@ int main() {
   };
 
   TextTable t({"pattern", "a1", "a2", "a3", "b4", "b5", "match"});
-  bench::Gate gate;
+  bench::Gate gate("table6_node_frequencies");
   for (const auto& row : paper) {
     const PatternAntichains* pa = nullptr;
     for (const auto& candidate : analysis.per_pattern)

@@ -86,7 +86,7 @@ int main() {
 
   TextTable t({"Pdef", "3DFT rnd (paper/ours)", "3DFT sel (paper/ours)", "match",
                "5DFT rnd (paper/ours)", "5DFT sel (paper/ours)"});
-  bench::Gate gate;
+  bench::Gate gate("table7_random_vs_selected");
   int exact_selected_3dft = 0;
   std::size_t prev3 = SIZE_MAX, prev5 = SIZE_MAX;
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <map>
+#include <span>
 #include <unordered_map>
 
 #include "antichain/span.hpp"
@@ -13,6 +14,37 @@ namespace mpsched {
 
 namespace {
 
+using Word = DynamicBitset::Word;
+constexpr std::size_t kWordBits = DynamicBitset::kWordBits;
+
+/// Transparent hash/equality so record() can probe the per-pattern map
+/// with a sorted scratch color span — no Pattern (and no heap allocation)
+/// is constructed unless a pattern occurs for the first time. The span
+/// hash MUST mirror Pattern::hash() (FNV-1a over the canonical colors).
+struct PatternKeyHash {
+  using is_transparent = void;
+  std::size_t operator()(const Pattern& p) const noexcept { return p.hash(); }
+  std::size_t operator()(std::span<const ColorId> colors) const noexcept {
+    std::size_t h = 1469598103934665603ULL;
+    for (const ColorId c : colors) {
+      h ^= static_cast<std::size_t>(c) + 1;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+};
+
+struct PatternKeyEq {
+  using is_transparent = void;
+  bool operator()(const Pattern& a, const Pattern& b) const noexcept { return a == b; }
+  bool operator()(std::span<const ColorId> s, const Pattern& p) const noexcept {
+    return std::equal(s.begin(), s.end(), p.colors().begin(), p.colors().end());
+  }
+  bool operator()(const Pattern& p, std::span<const ColorId> s) const noexcept {
+    return (*this)(s, p);
+  }
+};
+
 /// Per-thread accumulator; merged deterministically after the fan-out.
 struct Accumulator {
   struct Entry {
@@ -20,7 +52,7 @@ struct Accumulator {
     std::vector<std::uint64_t> node_frequency;
     std::vector<std::vector<NodeId>> members;
   };
-  std::unordered_map<Pattern, Entry, PatternHash> per_pattern;
+  std::unordered_map<Pattern, Entry, PatternKeyHash, PatternKeyEq> per_pattern;
   std::vector<std::vector<std::uint64_t>> by_size_span;  // [size][span]
   std::uint64_t total = 0;
 
@@ -38,9 +70,210 @@ struct SearchContext {
   std::atomic<std::uint64_t>* global_count;
 };
 
-/// Records the current antichain `stack` into `acc`.
-void record(const SearchContext& ctx, Accumulator& acc, const std::vector<NodeId>& stack,
-            int span) {
+/// Chunked accounting against the shared max_antichains counter: each
+/// worker batches kChunk recorded antichains locally and publishes them
+/// with one fetch_add, so the hot path touches the shared cache line once
+/// per chunk instead of once per antichain. The limit stays exact in the
+/// threshold sense: partial sums only ever reach the true total, so a
+/// flush observes a count above the limit iff the enumeration really
+/// produced more than max_antichains — the same workloads trip it, the
+/// same workloads pass (flush_final() guarantees the last pending batch
+/// is always published).
+class CountBudget {
+ public:
+  static constexpr std::uint64_t kChunk = 1024;
+
+  CountBudget(std::atomic<std::uint64_t>* global, std::uint64_t limit)
+      : global_(global), limit_(limit) {}
+
+  void note() {
+    if (++pending_ >= kChunk) flush();
+  }
+
+  void flush() {
+    if (pending_ == 0) return;
+    const std::uint64_t seen =
+        global_->fetch_add(pending_, std::memory_order_relaxed) + pending_;
+    pending_ = 0;
+    MPSCHED_CHECK(seen <= limit_,
+                  "antichain enumeration exceeded the max_antichains safety limit (" +
+                      std::to_string(limit_) + ")");
+  }
+
+ private:
+  std::atomic<std::uint64_t>* global_;
+  std::uint64_t limit_;
+  std::uint64_t pending_ = 0;
+};
+
+/// One worker's depth-first walk over the subtrees of its assigned roots,
+/// on arena-style scratch: a preallocated max_depth × word_count mask
+/// stack replaces the per-node `DynamicBitset next_compat = compat` heap
+/// copy, the candidate probe is a fused word-parallel AND+countr_zero
+/// loop over raw words, and the shared safety counter is batched through
+/// CountBudget. The walk itself allocates nothing (pattern classification
+/// allocates only the first time a pattern is seen, plus the explicit
+/// member lists when collect_members is on).
+class Walker {
+ public:
+  Walker(const SearchContext& ctx, Accumulator& acc)
+      : ctx_(ctx),
+        acc_(acc),
+        budget_(ctx.global_count, ctx.options.max_antichains),
+        word_count_(ctx.dfg.node_count() == 0
+                        ? 0
+                        : (ctx.dfg.node_count() + kWordBits - 1) / kWordBits) {
+    // An antichain can never exceed node_count members, so the mask stack
+    // depth is bounded by min(max_size, n) no matter how large the
+    // configured max_size is.
+    const std::size_t depth =
+        std::min<std::size_t>(ctx.options.max_size, ctx.dfg.node_count());
+    masks_.assign(depth * word_count_, 0);
+    stack_.reserve(depth);
+    colors_.resize(depth);
+    last_colors_.resize(depth);
+    // Hot-path caches: the color table snapshot skips dfg.color()'s
+    // always-on bounds assert per member per antichain, and the span-row
+    // pointers skip two vector indexings per record (the Accumulator
+    // preallocates by_size_span once; rows never move).
+    color_of_.resize(ctx.dfg.node_count());
+    pm_of_.resize(ctx.dfg.node_count());
+    for (NodeId n = 0; n < ctx.dfg.node_count(); ++n) {
+      color_of_[n] = ctx.dfg.color(n);
+      pm_of_[n] = ctx.reach.parallel_mask(n).words();
+    }
+    span_rows_.resize(acc_.by_size_span.size());
+    for (std::size_t s = 0; s < acc_.by_size_span.size(); ++s)
+      span_rows_[s] = acc_.by_size_span[s].data();
+  }
+
+  /// Enumerates every antichain whose minimum node id is `root`.
+  void run_root(NodeId root) {
+    stack_.clear();
+    stack_.push_back(root);
+    // Size-1 antichains always have span U(asap - alap) = 0 (asap ≤ alap).
+    record(0);
+    extend(pm_of_[root], ctx_.levels.asap[root], ctx_.levels.alap[root]);
+  }
+
+  /// Publishes the last pending chunk (and trips the limit check if the
+  /// total crossed it). Must be called once after the worker's last root.
+  void finish() { budget_.flush(); }
+
+ private:
+  /// Depth-first extension. `compat` is the AND of parallel masks of all
+  /// members (word_count_ words, tail bits zero); only ids greater than
+  /// the last member are probed, so each antichain is produced exactly
+  /// once (as its sorted id sequence). `max_asap`/`min_alap` carry the
+  /// members' span state (SpanTracker's fields, inlined: the span of the
+  /// set plus candidate `j` is max(max_asap, asap[j]) - min(min_alap,
+  /// alap[j]) clamped at 0, monotone in membership — so a span overrun
+  /// prunes the whole subtree).
+  void extend(const Word* compat, int max_asap, int min_alap) {
+    if (stack_.size() >= ctx_.options.max_size) return;
+    const int* asap = ctx_.levels.asap.data();
+    const int* alap = ctx_.levels.alap.data();
+    const std::size_t from = stack_.back() + 1;
+    std::size_t wi = from / kWordBits;
+    if (wi >= word_count_) return;
+    Word w = compat[wi] & (~Word{0} << (from % kWordBits));
+    while (true) {
+      while (w != 0) {
+        const auto node =
+            static_cast<NodeId>(wi * kWordBits +
+                                static_cast<std::size_t>(std::countr_zero(w)));
+        w &= w - 1;
+        const int ma = max_asap > asap[node] ? max_asap : asap[node];
+        const int mi = min_alap < alap[node] ? min_alap : alap[node];
+        const int new_span = ma - mi > 0 ? ma - mi : 0;
+        if (new_span > ctx_.effective_span_limit) continue;  // span is monotone: subtree pruned
+        stack_.push_back(node);
+        record(new_span);
+        if (stack_.size() < ctx_.options.max_size) {
+          // Word-wise AND into the next depth's arena slot. Words below wi
+          // are never read deeper in this subtree (every candidate there
+          // has id > node ≥ wi·64), so the suffix suffices.
+          Word* next = masks_.data() + (stack_.size() - 1) * word_count_;
+          const Word* pm = pm_of_[node];
+          for (std::size_t k = wi; k < word_count_; ++k) next[k] = compat[k] & pm[k];
+          extend(next, ma, mi);
+        }
+        stack_.pop_back();
+      }
+      if (++wi >= word_count_) return;
+      w = compat[wi];
+    }
+  }
+
+  /// Records the current antichain `stack_` into the accumulator.
+  /// Raw-pointer writes throughout: this runs once per antichain and is
+  /// the other half (with extend()) of the enumeration hot path.
+  void record(int span) {
+    acc_.total += 1;
+    const std::size_t size = stack_.size();
+    span_rows_[size][static_cast<std::size_t>(span)] += 1;
+
+    const NodeId* members = stack_.data();
+    ColorId* colors = colors_.data();
+    for (std::size_t i = 0; i < size; ++i) colors[i] = color_of_[members[i]];
+    // Canonical (sorted) form; insertion sort — the array is at most
+    // max_size (5 for the Montium) elements, below std::sort's overhead.
+    for (std::size_t i = 1; i < size; ++i) {
+      const ColorId c = colors[i];
+      std::size_t k = i;
+      for (; k > 0 && colors[k - 1] > c; --k) colors[k] = colors[k - 1];
+      colors[k] = c;
+    }
+
+    // DFS sibling antichains repeat patterns constantly; one cached entry
+    // skips the hash probe for those runs. The cache never dangles:
+    // unordered_map references survive rehash, and nothing erases.
+    Accumulator::Entry* entry = last_entry_;
+    if (entry == nullptr || last_size_ != size ||
+        !std::equal(colors, colors + size, last_colors_.data())) {
+      auto it = acc_.per_pattern.find(std::span<const ColorId>(colors, size));
+      if (it == acc_.per_pattern.end())
+        it = acc_.per_pattern
+                 .emplace(Pattern(std::vector<ColorId>(colors, colors + size)),
+                          Accumulator::Entry{})
+                 .first;
+      entry = &it->second;
+      last_entry_ = entry;
+      last_size_ = size;
+      std::copy(colors, colors + size, last_colors_.data());
+    }
+    if (entry->node_frequency.empty()) entry->node_frequency.assign(ctx_.dfg.node_count(), 0);
+    entry->count += 1;
+    std::uint64_t* freq = entry->node_frequency.data();
+    for (std::size_t i = 0; i < size; ++i) freq[members[i]] += 1;
+    if (ctx_.options.collect_members) entry->members.push_back(stack_);
+
+    budget_.note();
+  }
+
+  const SearchContext& ctx_;
+  Accumulator& acc_;
+  CountBudget budget_;
+  std::size_t word_count_;
+  std::vector<Word> masks_;  // depth-major arena: one compat mask per depth
+  std::vector<NodeId> stack_;
+  std::vector<ColorId> colors_;  // record() scratch (sorted per antichain)
+  Accumulator::Entry* last_entry_ = nullptr;  // single-entry pattern cache
+  std::size_t last_size_ = 0;
+  std::vector<ColorId> last_colors_;
+  std::vector<ColorId> color_of_;            // dfg color table snapshot
+  std::vector<const Word*> pm_of_;           // parallel-mask word pointers
+  std::vector<std::uint64_t*> span_rows_;    // by_size_span row pointers
+};
+
+// ---------------------------------------------------------------------------
+// Reference enumerator — the original copy-per-node recursion, kept as the
+// validation oracle for the arena kernel (byte-identity tests and the
+// pinned speedup gate in bench_perf_scaling). Strictly sequential.
+// ---------------------------------------------------------------------------
+
+void record_reference(const SearchContext& ctx, Accumulator& acc,
+                      const std::vector<NodeId>& stack, int span) {
   acc.total += 1;
   acc.by_size_span[stack.size()][static_cast<std::size_t>(span)] += 1;
 
@@ -61,34 +294,29 @@ void record(const SearchContext& ctx, Accumulator& acc, const std::vector<NodeId
                     std::to_string(ctx.options.max_antichains) + ")");
 }
 
-/// Depth-first extension. `compat` is the AND of parallel masks of all
-/// members; only ids greater than the last member are probed, so each
-/// antichain is produced exactly once (as its sorted id sequence).
-void extend(const SearchContext& ctx, Accumulator& acc, std::vector<NodeId>& stack,
-            const DynamicBitset& compat, SpanTracker tracker) {
+void extend_reference(const SearchContext& ctx, Accumulator& acc, std::vector<NodeId>& stack,
+                      const DynamicBitset& compat, SpanTracker tracker) {
   if (stack.size() >= ctx.options.max_size) return;
   const std::size_t n = ctx.dfg.node_count();
   for (std::size_t j = compat.find_next(stack.back() + 1); j < n; j = compat.find_next(j + 1)) {
     const auto node = static_cast<NodeId>(j);
     const int new_span = tracker.span_with(node, ctx.levels);
-    if (new_span > ctx.effective_span_limit) continue;  // span is monotone: subtree pruned
+    if (new_span > ctx.effective_span_limit) continue;
     stack.push_back(node);
-    record(ctx, acc, stack, new_span);
+    record_reference(ctx, acc, stack, new_span);
     DynamicBitset next_compat = compat;
     next_compat &= ctx.reach.parallel_mask(node);
-    extend(ctx, acc, stack, next_compat, tracker.with(node, ctx.levels));
+    extend_reference(ctx, acc, stack, next_compat, tracker.with(node, ctx.levels));
     stack.pop_back();
   }
 }
 
-/// Enumerates every antichain whose minimum node id is `root`.
-void enumerate_from_root(const SearchContext& ctx, Accumulator& acc, NodeId root) {
+void enumerate_from_root_reference(const SearchContext& ctx, Accumulator& acc, NodeId root) {
   std::vector<NodeId> stack{root};
   SpanTracker tracker;
   tracker = tracker.with(root, ctx.levels);
-  // Size-1 antichains always have span U(asap - alap) = 0 (asap ≤ alap).
-  record(ctx, acc, stack, 0);
-  extend(ctx, acc, stack, ctx.reach.parallel_mask(root), tracker);
+  record_reference(ctx, acc, stack, 0);
+  extend_reference(ctx, acc, stack, ctx.reach.parallel_mask(root), tracker);
 }
 
 /// Folds one partial per-pattern record into a merge entry.
@@ -152,8 +380,12 @@ std::uint64_t AntichainAnalysis::count_with_span_at_most(std::size_t size, int l
 }
 
 const PatternAntichains* AntichainAnalysis::find(const Pattern& p) const {
-  for (const auto& entry : per_pattern)
-    if (entry.pattern == p) return &entry;
+  // per_pattern is emitted sorted by Pattern::operator< (every emission
+  // path funnels through one ordered merge), so lookup is a binary search.
+  const auto it = std::lower_bound(
+      per_pattern.begin(), per_pattern.end(), p,
+      [](const PatternAntichains& entry, const Pattern& key) { return entry.pattern < key; });
+  if (it != per_pattern.end() && it->pattern == p) return &*it;
   return nullptr;
 }
 
@@ -177,13 +409,17 @@ AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
     // Cyclic root assignment: worker w handles roots w, w+W, w+2W, ... so
     // the expensive low-id roots (largest subtrees) spread across workers.
     pool.parallel_for(n_workers, [&](std::size_t w) {
+      Walker walker(ctx, accumulators[w]);
       for (NodeId root = static_cast<NodeId>(w); root < n;
            root = static_cast<NodeId>(root + n_workers))
-        enumerate_from_root(ctx, accumulators[w], root);
+        walker.run_root(root);
+      walker.finish();
     });
   } else {
     accumulators.assign(1, Accumulator(options.max_size, span_hist_size));
-    for (NodeId root = 0; root < n; ++root) enumerate_from_root(ctx, accumulators[0], root);
+    Walker walker(ctx, accumulators[0]);
+    for (NodeId root = 0; root < n; ++root) walker.run_root(root);
+    walker.finish();
   }
 
   // Deterministic merge: ordered map keyed by canonical pattern ordering.
@@ -204,6 +440,27 @@ AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
   return out;
 }
 
+AntichainAnalysis enumerate_antichains_reference(const Dfg& dfg, const Levels& levels,
+                                                const Reachability& reach,
+                                                const EnumerateOptions& options) {
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
+
+  std::atomic<std::uint64_t> global_count{0};
+  SearchContext ctx{dfg, levels, reach, options, effective_limit, &global_count};
+
+  Accumulator acc(options.max_size, static_cast<std::size_t>(levels.asap_max));
+  for (NodeId root = 0; root < dfg.node_count(); ++root)
+    enumerate_from_root_reference(ctx, acc, root);
+
+  std::map<Pattern, Accumulator::Entry> ordered;
+  for (auto& [pattern, entry] : acc.per_pattern) ordered[pattern] = std::move(entry);
+  AntichainAnalysis out;
+  out.total = acc.total;
+  out.count_by_size_span = std::move(acc.by_size_span);
+  out.per_pattern = emit_per_pattern(std::move(ordered), options.collect_members);
+  return out;
+}
+
 AntichainAnalysis enumerate_antichain_roots(const Dfg& dfg, const Levels& levels,
                                             const Reachability& reach,
                                             const EnumerateOptions& options,
@@ -217,12 +474,14 @@ AntichainAnalysis enumerate_antichain_roots(const Dfg& dfg, const Levels& levels
 
   Accumulator acc(options.max_size, static_cast<std::size_t>(levels.asap_max));
   std::vector<bool> seen(dfg.node_count(), false);
+  Walker walker(ctx, acc);
   for (const NodeId root : roots) {
     MPSCHED_REQUIRE(root < dfg.node_count(), "shard root out of range");
     MPSCHED_REQUIRE(!seen[root], "duplicate shard root would double-count");
     seen[root] = true;
-    enumerate_from_root(ctx, acc, root);
+    walker.run_root(root);
   }
+  walker.finish();
 
   AntichainAnalysis out;
   out.total = acc.total;
@@ -262,20 +521,23 @@ AntichainAnalysis merge_antichain_analyses(std::vector<AntichainAnalysis> parts,
   return out;
 }
 
-std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
-                                 const Reachability& reach,
-                                 const EnumerateOptions& options, NodeId root) {
-  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
-  MPSCHED_REQUIRE(root < dfg.node_count(), "root out of range");
+namespace {
+
+/// estimate_root_cost() body with validation hoisted out — the per-root
+/// kernel shared by the single-root entry point and the batched,
+/// pool-parallel estimate_root_costs().
+std::uint64_t estimate_root_cost_unchecked(const Levels& levels, const Reachability& reach,
+                                           const EnumerateOptions& options,
+                                           int effective_limit, NodeId root) {
   if (options.max_size <= 1) return 1;
 
   SpanTracker tracker;
   tracker = tracker.with(root, levels);
   const DynamicBitset& compat = reach.parallel_mask(root);
   std::uint64_t width = 0;
-  const std::size_t n = dfg.node_count();
-  for (std::size_t j = compat.find_next(root + 1); j < n; j = compat.find_next(j + 1))
+  compat.for_each_from(root + 1, [&](std::size_t j) {
     if (tracker.span_with(static_cast<NodeId>(j), levels) <= effective_limit) ++width;
+  });
 
   // Σ_{k=0}^{max_size-1} C(w, k) ≈ Σ w^k/k! — the subtree size if the
   // whole first level stayed mutually compatible; an upper-bound-shaped
@@ -292,12 +554,37 @@ std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
   return static_cast<std::uint64_t>(cost < kSaturate ? cost : kSaturate);
 }
 
+}  // namespace
+
+std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
+                                 const Reachability& reach,
+                                 const EnumerateOptions& options, NodeId root) {
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
+  MPSCHED_REQUIRE(root < dfg.node_count(), "root out of range");
+  return estimate_root_cost_unchecked(levels, reach, options, effective_limit, root);
+}
+
 std::vector<std::uint64_t> estimate_root_costs(const Dfg& dfg, const Levels& levels,
                                                const Reachability& reach,
                                                const EnumerateOptions& options) {
+  // Validation runs once, not once per root; each root's estimate is
+  // independent and written into its own slot, so the pool fan-out is
+  // byte-deterministic (the shard-policy determinism matrix gates this).
+  const int effective_limit = validate_and_clamp_span(dfg, levels, reach, options);
   std::vector<std::uint64_t> costs(dfg.node_count());
-  for (NodeId r = 0; r < dfg.node_count(); ++r)
-    costs[r] = estimate_root_cost(dfg, levels, reach, options, r);
+  const auto eval = [&](std::size_t r) {
+    costs[r] = estimate_root_cost_unchecked(levels, reach, options, effective_limit,
+                                            static_cast<NodeId>(r));
+  };
+  // Pool fan-out only when it can pay for itself. Must not be entered
+  // from inside another pool task (parallel_for waits for the whole
+  // pool); every current caller estimates from a dispatcher thread.
+  constexpr std::size_t kParallelThreshold = 256;
+  if (options.parallel && dfg.node_count() >= kParallelThreshold) {
+    ThreadPool::shared().parallel_for(dfg.node_count(), eval);
+  } else {
+    for (std::size_t r = 0; r < dfg.node_count(); ++r) eval(r);
+  }
   return costs;
 }
 

@@ -77,9 +77,24 @@ struct AntichainAnalysis {
 };
 
 /// Runs the enumeration. `levels` and `reach` must belong to `dfg`.
+///
+/// The walk runs on arena-style scratch: one preallocated
+/// min(max_size, n) × word_count mask stack per worker (word-wise AND into
+/// the next depth's slot — no allocation per node), a fused word-parallel
+/// candidate probe (DynamicBitset::for_each_set_from), and chunk-batched
+/// accounting against the shared max_antichains counter.
 AntichainAnalysis enumerate_antichains(const Dfg& dfg, const Levels& levels,
                                        const Reachability& reach,
                                        const EnumerateOptions& options = {});
+
+/// Validation oracle: the original copy-a-DynamicBitset-per-node,
+/// bit-at-a-time recursion, strictly sequential (`options.parallel` is
+/// ignored). Kept so tests can gate byte-identity of the arena kernel
+/// against the naive walk and bench_perf_scaling can pin the speedup;
+/// never use it for real workloads.
+AntichainAnalysis enumerate_antichains_reference(const Dfg& dfg, const Levels& levels,
+                                                const Reachability& reach,
+                                                const EnumerateOptions& options = {});
 
 /// Convenience overload computing levels and reachability internally.
 AntichainAnalysis enumerate_antichains(const Dfg& dfg, const EnumerateOptions& options = {});
@@ -135,7 +150,11 @@ std::uint64_t estimate_root_cost(const Dfg& dfg, const Levels& levels,
                                  const Reachability& reach,
                                  const EnumerateOptions& options, NodeId root);
 
-/// All roots at once, indexed by NodeId.
+/// All roots at once, indexed by NodeId. Validates once (not per root)
+/// and, when `options.parallel` and the graph is large enough, fans the
+/// independent per-root estimates out on the shared pool — each root
+/// writes its own slot, so the vector is byte-identical to the serial
+/// path. Must not be called from inside a ThreadPool task.
 std::vector<std::uint64_t> estimate_root_costs(const Dfg& dfg, const Levels& levels,
                                                const Reachability& reach,
                                                const EnumerateOptions& options);

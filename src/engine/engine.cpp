@@ -354,9 +354,13 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
         // let the shard task surface the real error as this job's failure.
         try {
           const PreparedGraph& graph = *prepared[unit.exemplar_job];
+          // Estimation runs here on the dispatcher thread, before the
+          // shard fan-out, so it may use the shared pool even though the
+          // shard tasks themselves must not (parallel = false below).
+          EnumerateOptions estimate_options = enumerate_options_for(job.select);
+          estimate_options.parallel = true;
           unit.shard_roots = pack_roots_by_cost(
-              estimate_root_costs(job.dfg, graph.levels, graph.reach,
-                                  enumerate_options_for(job.select)),
+              estimate_root_costs(job.dfg, graph.levels, graph.reach, estimate_options),
               target_shards);
         } catch (const std::exception&) {
           adaptive = false;

@@ -127,6 +127,36 @@ class DynamicBitset {
     }
   }
 
+  /// Word-parallel iteration over a raw word array: invokes `fn(i)` for
+  /// every set bit `i >= from` of the `word_count`-word array `words`, in
+  /// increasing order. Tail bits past the caller's logical size must be
+  /// zero (every DynamicBitset, and any AND of them, satisfies this). This
+  /// is the enumeration hot path's candidate probe — one fused
+  /// mask+countr_zero walk instead of a find_next() call per bit — kept
+  /// here so tests can pin its equivalence to for_each().
+  template <typename Fn>
+  static void for_each_set_from(const Word* words, std::size_t word_count,
+                                std::size_t from, Fn&& fn) {
+    std::size_t wi = from / kWordBits;
+    if (wi >= word_count) return;
+    Word w = words[wi] & (~Word{0} << (from % kWordBits));
+    while (true) {
+      while (w != 0) {
+        const int b = std::countr_zero(w);
+        fn(wi * kWordBits + static_cast<std::size_t>(b));
+        w &= w - 1;
+      }
+      if (++wi >= word_count) return;
+      w = words[wi];
+    }
+  }
+
+  /// Member form of the fused walk: every set bit `i >= from` of *this.
+  template <typename Fn>
+  void for_each_from(std::size_t from, Fn&& fn) const {
+    for_each_set_from(words_.data(), words_.size(), from, std::forward<Fn>(fn));
+  }
+
   /// All set bit indices in increasing order.
   std::vector<std::size_t> to_indices() const;
 

@@ -7,6 +7,7 @@
 #include "antichain/enumerate.hpp"
 #include "graph/closure.hpp"
 #include "graph/levels.hpp"
+#include "test_util.hpp"
 #include "workloads/paper_graphs.hpp"
 #include "workloads/random_dag.hpp"
 
@@ -191,6 +192,112 @@ TEST(AntichainTest, MembersAreSortedAndValid) {
         for (std::size_t j = i + 1; j < antichain.size(); ++j)
           EXPECT_TRUE(reach.parallelizable(antichain[i], antichain[j]));
     }
+  }
+}
+
+// The scratch-arena enumerator must be byte-identical to the reference
+// (copy-a-bitset-per-node) implementation across a seeded corpus: the
+// paper graph plus random DAGs, with and without members, serial and
+// parallel, default and tight span limits.
+TEST(AntichainTest, ArenaMatchesReferenceOnSeededCorpus) {
+  std::vector<Dfg> corpus;
+  corpus.push_back(workloads::paper_3dft());
+  corpus.push_back(workloads::small_example());
+  for (const std::uint64_t seed : {5u, 17u, 29u}) {
+    workloads::LayeredDagOptions dag_options;
+    dag_options.layers = 4;
+    dag_options.min_width = 3;
+    dag_options.max_width = 6;
+    corpus.push_back(workloads::random_layered_dag(seed, dag_options));
+  }
+
+  for (const Dfg& g : corpus) {
+    const Levels lv = compute_levels(g);
+    const Reachability reach(g);
+    for (const bool collect : {false, true})
+      for (const bool parallel : {false, true})
+        for (const std::optional<int> span :
+             {std::optional<int>{}, std::optional<int>{1}}) {
+          const EnumerateOptions o = opts(4, span, collect, parallel);
+          const AntichainAnalysis ref = enumerate_antichains_reference(g, lv, reach, o);
+          const AntichainAnalysis arena = enumerate_antichains(g, lv, reach, o);
+          test::expect_analysis_identical(ref, arena);
+        }
+  }
+}
+
+// find() is a binary search over the sorted per_pattern vector; it must
+// agree with a linear scan for every present pattern and return nullptr
+// for absent ones.
+TEST(AntichainTest, FindAgreesWithLinearScan) {
+  const Dfg g = workloads::paper_3dft();
+  const AntichainAnalysis analysis = enumerate_antichains(g, opts(4));
+  ASSERT_FALSE(analysis.per_pattern.empty());
+
+  for (const PatternAntichains& pa : analysis.per_pattern) {
+    const PatternAntichains* scan = nullptr;
+    for (const PatternAntichains& candidate : analysis.per_pattern)
+      if (candidate.pattern == pa.pattern) {
+        scan = &candidate;
+        break;
+      }
+    const PatternAntichains* found = analysis.find(pa.pattern);
+    EXPECT_EQ(found, scan);
+  }
+
+  // Absent patterns: an unused color id and an over-long pattern.
+  const ColorId beyond = static_cast<ColorId>(g.color_count());
+  EXPECT_EQ(analysis.find(Pattern({beyond})), nullptr);
+  const ColorId c0 = 0;
+  EXPECT_EQ(analysis.find(Pattern(std::vector<ColorId>(9, c0))), nullptr);
+}
+
+// The max_antichains limit must trip at the exact threshold, with the
+// chunked per-worker count batching: limit == total passes, limit ==
+// total - 1 throws — serial, parallel, and through the sharded
+// entry point with a shared counter.
+TEST(AntichainTest, MaxAntichainsLimitIsThresholdExact) {
+  const Dfg g = workloads::paper_3dft();
+  const Levels lv = compute_levels(g);
+  const Reachability reach(g);
+
+  const std::uint64_t total = enumerate_antichains(g, lv, reach, opts(4)).total;
+  ASSERT_GT(total, 1u);
+
+  for (const bool parallel : {false, true}) {
+    EnumerateOptions at = opts(4, std::nullopt, false, parallel);
+    at.max_antichains = total;
+    EXPECT_EQ(enumerate_antichains(g, lv, reach, at).total, total);
+
+    EnumerateOptions below = at;
+    below.max_antichains = total - 1;
+    EXPECT_THROW(enumerate_antichains(g, lv, reach, below), std::runtime_error);
+  }
+
+  // Sharded path: two root partitions sharing one global counter.
+  std::vector<NodeId> even_roots, odd_roots;
+  for (NodeId r = 0; r < g.node_count(); ++r)
+    (r % 2 == 0 ? even_roots : odd_roots).push_back(r);
+
+  {
+    EnumerateOptions o = opts(4);
+    o.max_antichains = total;
+    std::atomic<std::uint64_t> shared{0};
+    std::vector<AntichainAnalysis> parts;
+    parts.push_back(enumerate_antichain_roots(g, lv, reach, o, even_roots, &shared));
+    parts.push_back(enumerate_antichain_roots(g, lv, reach, o, odd_roots, &shared));
+    EXPECT_EQ(merge_antichain_analyses(std::move(parts), g.node_count()).total, total);
+  }
+  {
+    EnumerateOptions o = opts(4);
+    o.max_antichains = total - 1;
+    std::atomic<std::uint64_t> shared{0};
+    EXPECT_THROW(
+        {
+          (void)enumerate_antichain_roots(g, lv, reach, o, even_roots, &shared);
+          (void)enumerate_antichain_roots(g, lv, reach, o, odd_roots, &shared);
+        },
+        std::runtime_error);
   }
 }
 

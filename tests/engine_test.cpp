@@ -275,6 +275,40 @@ TEST(AdaptiveSharding, RootCostEstimatesAreShapedLikeTheSearchForest) {
     EXPECT_EQ(c, 1u);
 }
 
+TEST(AdaptiveSharding, RootCostEstimatesAreIdenticalSerialAndParallel) {
+  // estimate_root_costs validates once and, over the pool-fan-out
+  // threshold (256 nodes), runs the per-root estimates on the shared
+  // ThreadPool. The cost vector must be byte-identical between the
+  // serial and parallel paths and equal to per-root estimate_root_cost —
+  // the adaptive shard plan (and thus the engine's work order) hangs off
+  // these numbers.
+  workloads::LayeredDagOptions dag_options;
+  dag_options.layers = 40;
+  dag_options.min_width = 7;
+  dag_options.max_width = 9;
+  const Dfg dfg = workloads::random_layered_dag(97, dag_options);
+  ASSERT_GE(dfg.node_count(), 256u) << "graph too small to exercise the pool path";
+  const Levels levels = compute_levels(dfg);
+  const Reachability reach(dfg);
+
+  EnumerateOptions serial_options;
+  serial_options.max_size = 5;
+  serial_options.parallel = false;
+  EnumerateOptions parallel_options = serial_options;
+  parallel_options.parallel = true;
+
+  const std::vector<std::uint64_t> serial =
+      estimate_root_costs(dfg, levels, reach, serial_options);
+  const std::vector<std::uint64_t> parallel =
+      estimate_root_costs(dfg, levels, reach, parallel_options);
+  EXPECT_EQ(serial, parallel);
+
+  ASSERT_EQ(serial.size(), dfg.node_count());
+  for (NodeId r = 0; r < dfg.node_count(); ++r)
+    EXPECT_EQ(serial[r], estimate_root_cost(dfg, levels, reach, serial_options, r))
+        << "root " << r;
+}
+
 TEST(AdaptiveSharding, PackerProducesValidPartitions) {
   // The LPT packer's hard invariant: whatever the costs, the plan is a
   // partition of [0, n) — every root in exactly one shard — with at most

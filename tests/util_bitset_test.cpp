@@ -94,6 +94,95 @@ TEST(BitsetTest, ForEachVisitsAscending) {
   EXPECT_EQ(b.to_indices(), seen);
 }
 
+TEST(BitsetTest, FindNextFromAtOrPastSize) {
+  DynamicBitset b(100);
+  b.set(99);
+  // `from` at size() and beyond must return size(), never read past the
+  // word array or wrap.
+  EXPECT_EQ(b.find_next(100), 100u);
+  EXPECT_EQ(b.find_next(101), 100u);
+  EXPECT_EQ(b.find_next(100000), 100u);
+  // Boundary inside: the last bit is still reachable.
+  EXPECT_EQ(b.find_next(99), 99u);
+}
+
+TEST(BitsetTest, EmptyBitsetEdgeCases) {
+  DynamicBitset b(0);
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_TRUE(b.none());
+  b.set_all();  // no words: must be a no-op, not a write into nothing
+  EXPECT_EQ(b.count(), 0u);
+  EXPECT_EQ(b.find_first(), 0u);
+  EXPECT_EQ(b.find_next(0), 0u);
+  std::vector<std::size_t> seen;
+  b.for_each([&seen](std::size_t i) { seen.push_back(i); });
+  EXPECT_TRUE(seen.empty());
+}
+
+TEST(BitsetTest, XorKeepsTailWordTrimmed) {
+  // 70 bits → 6 spare bits in the tail word. After x ^= full, the spare
+  // bits must stay zero: count() and the word-parallel iterators depend
+  // on trimmed tails.
+  DynamicBitset x(70), full(70);
+  x.set(0);
+  x.set(69);
+  full.set_all();
+  x ^= full;
+  EXPECT_EQ(x.count(), 68u);
+  EXPECT_FALSE(x.test(0));
+  EXPECT_FALSE(x.test(69));
+  std::size_t visited = 0;
+  std::size_t max_seen = 0;
+  x.for_each([&](std::size_t i) {
+    ++visited;
+    max_seen = i;
+  });
+  EXPECT_EQ(visited, 68u);
+  EXPECT_LT(max_seen, 70u);
+  // Same invariant through the raw-word iterator the enumerator uses.
+  visited = 0;
+  DynamicBitset::for_each_set_from(x.words(), x.word_count(), 0, [&](std::size_t i) {
+    ++visited;
+    EXPECT_LT(i, 70u);
+  });
+  EXPECT_EQ(visited, 68u);
+}
+
+// Property: the fused word-parallel iteration (for_each_from /
+// for_each_set_from, the enumeration hot path) visits exactly the bits
+// >= `from` that for_each visits, on random masks and random origins.
+TEST(BitsetTest, ForEachFromMatchesFilteredForEach) {
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 1 + static_cast<std::size_t>(rng.below(300));
+    DynamicBitset b(n);
+    const int sets = static_cast<int>(rng.below(static_cast<std::uint64_t>(n) + 1));
+    for (int s = 0; s < sets; ++s) b.set(static_cast<std::size_t>(rng.below(n)));
+    // Origins: random interior, word boundaries, 0, and past-the-end.
+    const std::size_t origins[] = {0,
+                                   static_cast<std::size_t>(rng.below(n)),
+                                   63 % n,
+                                   64 % n,
+                                   n - 1,
+                                   n,
+                                   n + 17};
+    for (const std::size_t from : origins) {
+      std::vector<std::size_t> expected;
+      b.for_each([&](std::size_t i) {
+        if (i >= from) expected.push_back(i);
+      });
+      std::vector<std::size_t> fused;
+      b.for_each_from(from, [&](std::size_t i) { fused.push_back(i); });
+      EXPECT_EQ(fused, expected) << "n=" << n << " from=" << from;
+      std::vector<std::size_t> raw;
+      DynamicBitset::for_each_set_from(b.words(), b.word_count(), from,
+                                       [&](std::size_t i) { raw.push_back(i); });
+      EXPECT_EQ(raw, expected) << "n=" << n << " from=" << from;
+    }
+  }
+}
+
 // Property: bitset behaviour matches std::set under random operations.
 TEST(BitsetTest, MatchesReferenceSetUnderRandomOps) {
   Rng rng(42);

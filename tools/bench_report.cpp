@@ -1,0 +1,197 @@
+// bench_report — aggregates and gates the BENCH_*.json perf trajectory.
+//
+// Every bench harness emits a BENCH_<name>.json (schema mpsched.bench/v1)
+// next to its stdout table; the committed baselines live in
+// bench/baselines/. This tool walks the baseline directory, matches each
+// baseline report against the freshly emitted file of the same name, and
+// verifies every emitted cell against the bounds the baseline commits to:
+//
+//   * the emitted report must exist and parse,
+//   * it must contain every baseline (workload, metric) cell, in order,
+//   * bounded cells (min/max present) must hold against the *baseline*
+//     bounds — so loosening a gate requires touching bench/baselines/ in
+//     the diff, where review sees it.
+//
+// Report-only cells (no bounds — wall times) are listed as drift but never
+// fail the gate; machines differ.
+//
+// Usage: bench_report [--emitted DIR] [--baseline DIR] [--check]
+//   --emitted DIR    where the fresh BENCH_*.json live (default ".")
+//   --baseline DIR   committed baselines (default "bench/baselines")
+//   --check          exit 1 on any violation (otherwise report-only)
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "io/json.hpp"
+
+namespace fs = std::filesystem;
+using mpsched::Json;
+
+namespace {
+
+struct Cell {
+  std::string workload;
+  std::string metric;
+  double value = 0.0;
+  bool has_min = false, has_max = false;
+  double min = 0.0, max = 0.0;
+};
+
+struct Report {
+  std::string name;
+  std::vector<Cell> cells;
+};
+
+/// Parses one BENCH_*.json document; throws on schema violations so a
+/// half-written or foreign file is a loud error, not a silent skip.
+Report parse_report(const std::string& path) {
+  const Json doc = mpsched::load_json(path);
+  if (const Json* schema = doc.find("schema");
+      schema == nullptr || schema->as_string() != "mpsched.bench/v1")
+    throw std::runtime_error(path + ": not an mpsched.bench/v1 document");
+  Report r;
+  r.name = doc.at("report").as_string();
+  for (const Json& c : doc.at("cells").as_array()) {
+    Cell cell;
+    cell.workload = c.at("workload").as_string();
+    cell.metric = c.at("metric").as_string();
+    cell.value = c.at("value").as_double();
+    if (const Json* m = c.find("min")) {
+      cell.has_min = true;
+      cell.min = m->as_double();
+    }
+    if (const Json* m = c.find("max")) {
+      cell.has_max = true;
+      cell.max = m->as_double();
+    }
+    r.cells.push_back(std::move(cell));
+  }
+  return r;
+}
+
+/// All BENCH_*.json files directly inside `dir`, sorted by filename for
+/// deterministic output.
+std::vector<fs::path> bench_files(const fs::path& dir) {
+  std::vector<fs::path> files;
+  if (!fs::is_directory(dir)) return files;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("BENCH_", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".json")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+const Cell* find_cell(const Report& r, const Cell& key) {
+  for (const Cell& c : r.cells)
+    if (c.workload == key.workload && c.metric == key.metric) return &c;
+  return nullptr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string emitted_dir = ".";
+  std::string baseline_dir = "bench/baselines";
+  bool check = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--emitted" && i + 1 < argc) {
+      emitted_dir = argv[++i];
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      baseline_dir = argv[++i];
+    } else if (arg == "--check") {
+      check = true;
+    } else {
+      std::printf("usage: bench_report [--emitted DIR] [--baseline DIR] [--check]\n");
+      return arg == "--help" ? 0 : 2;
+    }
+  }
+
+  const std::vector<fs::path> baselines = bench_files(baseline_dir);
+  if (baselines.empty()) {
+    std::printf("bench_report: no BENCH_*.json baselines under %s\n", baseline_dir.c_str());
+    return check ? 1 : 0;
+  }
+
+  int violations = 0;
+  int drift = 0;
+  int cells_checked = 0;
+  for (const fs::path& base_path : baselines) {
+    Report base;
+    try {
+      base = parse_report(base_path.string());
+    } catch (const std::exception& e) {
+      std::printf("VIOLATION: baseline unreadable: %s\n", e.what());
+      ++violations;
+      continue;
+    }
+
+    const fs::path emitted_path = fs::path(emitted_dir) / base_path.filename();
+    if (!fs::exists(emitted_path)) {
+      std::printf("VIOLATION: %s: emitted report missing (%s)\n", base.name.c_str(),
+                  emitted_path.string().c_str());
+      ++violations;
+      continue;
+    }
+    Report emitted;
+    try {
+      emitted = parse_report(emitted_path.string());
+    } catch (const std::exception& e) {
+      std::printf("VIOLATION: %s: emitted report unreadable: %s\n", base.name.c_str(),
+                  e.what());
+      ++violations;
+      continue;
+    }
+
+    int report_violations = 0;
+    for (const Cell& want : base.cells) {
+      const Cell* got = find_cell(emitted, want);
+      if (got == nullptr) {
+        std::printf("VIOLATION: %s: cell missing: [%s] %s\n", base.name.c_str(),
+                    want.workload.c_str(), want.metric.c_str());
+        ++violations;
+        ++report_violations;
+        continue;
+      }
+      if (!want.has_min && !want.has_max) {
+        // Report-only (timings): note drift, never gate.
+        if (got->value != want.value) ++drift;
+        continue;
+      }
+      ++cells_checked;
+      // Gate the fresh value against the *committed* bounds.
+      if ((want.has_min && got->value < want.min) ||
+          (want.has_max && got->value > want.max)) {
+        std::printf("VIOLATION: %s: [%s] %s = %g outside committed bounds [%s, %s]\n",
+                    base.name.c_str(), want.workload.c_str(), want.metric.c_str(),
+                    got->value, want.has_min ? std::to_string(want.min).c_str() : "-inf",
+                    want.has_max ? std::to_string(want.max).c_str() : "+inf");
+        ++violations;
+        ++report_violations;
+      }
+    }
+    if (report_violations == 0)
+      std::printf("ok: %-28s %3zu cells (%zu gated)\n", base.name.c_str(),
+                  base.cells.size(),
+                  static_cast<std::size_t>(std::count_if(
+                      base.cells.begin(), base.cells.end(),
+                      [](const Cell& c) { return c.has_min || c.has_max; })));
+  }
+
+  std::printf("\nbench_report: %zu baseline reports, %d gated cells checked, "
+              "%d violations, %d report-only drifts\n",
+              baselines.size(), cells_checked, violations, drift);
+  if (violations > 0) {
+    std::printf("%s\n", check ? "FAILED (--check)" : "violations found (advisory mode)");
+    return check ? 1 : 0;
+  }
+  std::printf("all committed gate bounds hold\n");
+  return 0;
+}
