@@ -36,6 +36,8 @@
 #include "engine/cache_store.hpp"
 #include "engine/engine.hpp"
 #include "io/result_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 #include "workloads/corpus.hpp"
@@ -151,6 +153,29 @@ int main() {
     const engine::BatchResult run = eng.run_batch(jobs);
     gate.check(batch_to_json(run).dump() == reference,
                "threads=" + std::to_string(threads) + " produces identical results JSON");
+  }
+
+  // ---- observability is a spectator: identical JSON with obs toggled ----
+  // Tracing and metrics must never leak into results — a traced run and a
+  // metrics-dark run both byte-match the reference. Fresh engine each
+  // time so the comparison covers a full cold dispatch, not a cache hit.
+  {
+    obs::set_tracing_enabled(true);
+    engine::Engine traced;
+    const engine::BatchResult traced_run = traced.run_batch(jobs);
+    obs::set_tracing_enabled(false);
+    gate.check(batch_to_json(traced_run).dump() == reference,
+               "tracing enabled produces identical results JSON");
+    gate.check(obs::trace_span_count() > 0,
+               "traced run recorded spans into the ring buffer");
+    obs::clear_trace();
+
+    obs::set_metrics_enabled(false);
+    engine::Engine dark;
+    const engine::BatchResult dark_run = dark.run_batch(jobs);
+    obs::set_metrics_enabled(true);
+    gate.check(batch_to_json(dark_run).dump() == reference,
+               "metrics disabled produces identical results JSON");
   }
 
   // ---- disk tier: cold populate vs. warm second "process" ----------------

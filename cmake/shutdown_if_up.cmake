@@ -1,0 +1,20 @@
+# Tolerant daemon teardown for fixture CLEANUP tests: sends --shutdown
+# and succeeds whether or not the daemon is still up. The happy path of
+# the trace flow shuts the daemon down as a REGULAR test (the trace file
+# is flushed on graceful exit and a later test validates it, and fixture
+# CLEANUP tests cannot sequence before regular ones) — this script only
+# exists so a mid-flow failure cannot leak a live daemon into the next
+# ctest invocation.
+#
+# Usage: cmake -DCLIENT=<mpsched_client> -DSOCKET=<path> -P shutdown_if_up.cmake
+if(NOT DEFINED CLIENT OR NOT DEFINED SOCKET)
+  message(FATAL_ERROR "shutdown_if_up: CLIENT and SOCKET are required")
+endif()
+
+execute_process(COMMAND ${CLIENT} --socket ${SOCKET} --shutdown
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc STREQUAL "0")
+  message(STATUS "daemon on ${SOCKET} shut down")
+else()
+  message(STATUS "daemon on ${SOCKET} already gone (${rc}) — nothing to do")
+endif()

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "engine/cache_store.hpp"
+#include "obs/metrics.hpp"
 #include "util/fnv.hpp"
 
 
@@ -112,16 +113,24 @@ std::shared_ptr<const PreparedGraph> AnalysisCache::prepare_graph(const Dfg& dfg
 }
 
 std::shared_ptr<const AntichainAnalysis> AnalysisCache::find_analysis(const CacheKey& key) {
+  // Memory-tier counters only (the disk tier keeps its own): a probe this
+  // cheap gets a pair of relaxed increments, never a trace span.
+  static obs::Counter& mem_hits =
+      obs::Registry::global().counter("cache.mem.hits");
+  static obs::Counter& mem_misses =
+      obs::Registry::global().counter("cache.mem.misses");
   std::shared_ptr<CacheStore> store;
   {
     std::lock_guard lock(mutex_);
     const auto it = analyses_.find(key);
     if (it != analyses_.end()) {
       ++stats_.analysis_hits;
+      mem_hits.add();
       return it->second;
     }
     store = store_;
   }
+  mem_misses.add();
   // Memory miss: fall through to the disk tier outside the lock (file IO
   // must not serialize concurrent memory hits). A racing duplicate load is
   // harmless — identical content, last writer wins.

@@ -14,6 +14,9 @@
 
 #include "engine/analysis_cache.hpp"
 #include "io/analysis_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/timer.hpp"
 
 namespace mpsched::engine {
 
@@ -34,7 +37,8 @@ bool is_committed_entry(const std::string& name) {
 }
 
 bool is_temp_entry(const std::string& name) {
-  return name.starts_with("tmp-") && name.ends_with(".mpa");
+  return name.starts_with("tmp-") &&
+         (name.ends_with(".mpa") || name.ends_with(".cost.json"));
 }
 
 /// File age in whole seconds by mtime; 0 for unreadable or future mtimes,
@@ -113,6 +117,11 @@ TrimResult CacheStore::trim(const TrimOptions& options) {
     ++result.entries_removed;
     result.bytes_removed += e.bytes;
     total_bytes -= e.bytes;
+    // An entry's cost sidecar describes that entry alone; it goes with it.
+    fs::path sidecar = e.path;
+    sidecar.replace_extension();  // "<key>.mpa" -> "<key>"
+    sidecar += ".cost.json";
+    fs::remove(sidecar, rm);
   };
 
   std::size_t next = 0;
@@ -133,28 +142,55 @@ std::string CacheStore::entry_filename(const CacheKey& key) {
 }
 
 std::shared_ptr<const AntichainAnalysis> CacheStore::load(const CacheKey& key) {
+  static obs::Counter& hit_count =
+      obs::Registry::global().counter("cache.disk.hits");
+  static obs::Counter& miss_count =
+      obs::Registry::global().counter("cache.disk.misses");
+  static obs::Counter& corrupt_count =
+      obs::Registry::global().counter("cache.disk.corrupt");
+  static obs::Histogram& read_ms =
+      obs::Registry::global().histogram("cache.disk.read_ms");
+  obs::Span span("cache.disk.load",
+                 obs::tracing_enabled() ? key.to_string() : std::string());
+  Timer timer;
+
   const fs::path path = fs::path(dir_) / entry_filename(key);
   std::error_code ec;
   if (!fs::exists(path, ec) || ec) {
+    miss_count.add();
+    read_ms.record(timer.millis());
     std::lock_guard lock(mutex_);
     ++stats_.disk_misses;
     return nullptr;
   }
   std::string error;
   std::optional<AntichainAnalysis> loaded = load_analysis(path.string(), &error);
+  read_ms.record(timer.millis());
   std::lock_guard lock(mutex_);
   if (!loaded) {
     // Present but invalid: torn write from a crashed copy, bit rot, or a
     // format bump. A miss either way; the recompute's store() overwrites.
+    corrupt_count.add();
+    miss_count.add();
     ++stats_.disk_corrupt;
     ++stats_.disk_misses;
     return nullptr;
   }
+  hit_count.add();
   ++stats_.disk_hits;
   return std::make_shared<AntichainAnalysis>(std::move(*loaded));
 }
 
 void CacheStore::store(const CacheKey& key, const AntichainAnalysis& analysis) {
+  static obs::Counter& store_count =
+      obs::Registry::global().counter("cache.disk.stores");
+  static obs::Histogram& write_ms =
+      obs::Registry::global().histogram("cache.disk.write_ms");
+  obs::Span span("cache.disk.store",
+                 obs::tracing_enabled() ? key.to_string() : std::string());
+  Timer timer;
+  store_count.add();
+
   std::uint64_t seq = 0;
   {
     std::lock_guard lock(mutex_);
@@ -178,6 +214,43 @@ void CacheStore::store(const CacheKey& key, const AntichainAnalysis& analysis) {
     // Disk full / permissions: drop the entry, keep the batch running.
     std::error_code ec;
     fs::remove(tmp, ec);
+  }
+  write_ms.record(timer.millis());
+}
+
+std::string CacheStore::sidecar_filename(const CacheKey& key) {
+  return key.to_string() + ".cost.json";
+}
+
+void CacheStore::store_cost_sidecar(const CacheKey& key, const Json& doc) {
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(mutex_);
+    seq = ++temp_seq_;
+  }
+  const fs::path dir(dir_);
+  const fs::path tmp = dir / ("tmp-" + std::to_string(current_pid()) + "-" +
+                              std::to_string(seq) + "-" + key.to_string() +
+                              ".cost.json");
+  const fs::path final_path = dir / sidecar_filename(key);
+  try {
+    save_json(doc, tmp.string());
+    std::error_code ec;
+    fs::rename(tmp, final_path, ec);
+    if (ec) fs::remove(tmp, ec);
+  } catch (const std::exception&) {
+    // Best-effort, exactly like store(): observed-cost seed data is an
+    // accelerator, never a correctness dependency.
+    std::error_code ec;
+    fs::remove(tmp, ec);
+  }
+}
+
+std::optional<Json> CacheStore::load_cost_sidecar(const CacheKey& key) const {
+  try {
+    return load_json((fs::path(dir_) / sidecar_filename(key)).string());
+  } catch (const std::exception&) {
+    return std::nullopt;
   }
 }
 

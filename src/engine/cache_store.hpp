@@ -31,9 +31,11 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "antichain/enumerate.hpp"
+#include "io/json.hpp"
 
 namespace mpsched::engine {
 
@@ -112,8 +114,19 @@ class CacheStore {
 
   CacheStoreStats stats() const;
 
+  /// Publishes a small JSON sidecar next to the entry for `key` —
+  /// measured per-shard costs (engine) or other observed-cost seed data.
+  /// Same temp-write + atomic-rename discipline and same best-effort
+  /// contract as store(); sidecars are invisible to entry_count() and
+  /// load(), and trim() removes them together with their entry.
+  void store_cost_sidecar(const CacheKey& key, const Json& doc);
+  /// Reads the sidecar for `key`; std::nullopt when absent or unparseable.
+  std::optional<Json> load_cost_sidecar(const CacheKey& key) const;
+
   /// "<32 hex digits>.mpa" — exposed so tests and tools can locate entries.
   static std::string entry_filename(const CacheKey& key);
+  /// "<32 hex digits>.cost.json" — the sidecar beside an entry.
+  static std::string sidecar_filename(const CacheKey& key);
 
  private:
   std::string dir_;

@@ -8,6 +8,8 @@
 #include "antichain/analytic.hpp"
 #include "antichain/enumerate.hpp"
 #include "engine/cache_store.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
@@ -173,13 +175,17 @@ void Engine::shutdown() {
 }
 
 EngineStats Engine::stats() {
-  EngineStats snapshot;
+  // The whole snapshot is assembled under stats_mutex_ — the same lock
+  // execute_batch's end-of-dispatch update takes — so a reader never sees
+  // a dispatch counted without the cache counters that dispatch produced.
+  // (stats_.cache is written there too, at the dispatch boundary; reading
+  // the cache live here would reintroduce exactly that torn view.)
+  // Lock order stats_mutex_ -> queue_mutex_ is safe: no path acquires
+  // them in the opposite order.
+  std::lock_guard lock(stats_mutex_);
+  EngineStats snapshot = stats_;
   {
-    std::lock_guard lock(stats_mutex_);
-    snapshot = stats_;
-  }
-  {
-    std::lock_guard lock(queue_mutex_);
+    std::lock_guard queue_lock(queue_mutex_);
     if (queue_ != nullptr) {
       const SubmissionStats q = queue_->stats();
       snapshot.jobs_submitted = q.submitted;
@@ -189,7 +195,6 @@ EngineStats Engine::stats() {
       snapshot.max_queue_depth = q.max_queue_depth;
     }
   }
-  snapshot.cache = cache().stats();
   return snapshot;
 }
 
@@ -213,6 +218,10 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
 
 BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   Timer wall;
+  obs::Span dispatch_span("engine.dispatch",
+                          obs::tracing_enabled()
+                              ? std::to_string(jobs.size()) + " jobs"
+                              : std::string());
   BatchResult batch;
   batch.jobs.resize(jobs.size());
 
@@ -241,6 +250,8 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   // Content hashing rides in its own fan-out: one canonical serialization
   // per job yields both the graph and the analysis key; with the cache off
   // none of it runs.
+  {
+  obs::Span prepare_span("engine.prepare");
   if (options_.use_cache) {
     std::vector<CacheKey> graph_keys(n_jobs);
     workers.parallel_for(n_jobs, [&](std::size_t i) {
@@ -295,6 +306,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       }
       batch.jobs[i].timings.prepare_ms = t.millis();
     });
+  }
   }
 
   // Group jobs into analysis units. With the cache off, every job is its
@@ -378,11 +390,17 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     for (std::size_t s = 0; s < unit.shard_roots.size(); ++s) tasks.push_back({u, s});
   }
 
+  static obs::Histogram& shard_ms_metric =
+      obs::Registry::global().histogram("engine.shard_ms");
   workers.parallel_for(tasks.size(), [&](std::size_t t) {
     AnalysisUnit& unit = units[tasks[t].unit];
     const std::size_t s = tasks[t].shard;
     const Job& job = jobs[unit.exemplar_job];
     const PreparedGraph& graph = *prepared[unit.exemplar_job];
+    obs::Span enumerate_span("engine.enumerate",
+                             obs::tracing_enabled()
+                                 ? job.workload + " shard " + std::to_string(s)
+                                 : std::string());
     Timer timer;
     try {
       if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
@@ -398,6 +416,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       unit.shard_errors[s] = e.what();
     }
     unit.shard_ms[s] = timer.millis();
+    shard_ms_metric.record(unit.shard_ms[s]);
   });
 
   // Merge + publish per unit, in parallel: merging is per-unit CPU work,
@@ -418,7 +437,30 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
             ? std::move(unit.shard_results.front())
             : merge_antichain_analyses(std::move(unit.shard_results),
                                        job.dfg.node_count()));
-    if (options_.use_cache) store.store_analysis(unit.key, unit.result);
+    if (options_.use_cache) {
+      store.store_analysis(unit.key, unit.result);
+      // Measured per-shard wall times ride along as a sidecar next to the
+      // persisted analysis: the seed data for re-packing repeated corpora
+      // from observed (rather than estimated) root costs. Best-effort,
+      // like every disk-tier write.
+      if (CacheStore* disk = store.disk_store(); disk != nullptr) {
+        Json cost = Json::object();
+        cost.set("format", Json("mpsched.shardcost/v1"));
+        cost.set("key", Json(unit.key.to_string()));
+        cost.set("workload", Json(job.workload));
+        cost.set("nodes", Json(job.dfg.node_count()));
+        Json shards = Json::array();
+        for (std::size_t s = 0; s < unit.shard_roots.size(); ++s) {
+          Json shard = Json::object();
+          shard.set("roots", Json(unit.shard_roots[s].size()));
+          shard.set("ms", Json(unit.shard_ms[s]));
+          shards.push_back(std::move(shard));
+        }
+        cost.set("shards", std::move(shards));
+        cost.set("total_ms", Json(unit.total_ms));
+        disk->store_cost_sidecar(unit.key, cost);
+      }
+    }
   });
 
   for (const AnalysisUnit& unit : units) {
@@ -428,6 +470,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       // exemplar only, so summing timings over a results file reflects
       // work actually done.
       batch.jobs[i].timings.analysis_ms = i == unit.exemplar_job ? unit.total_ms : 0.0;
+      if (i == unit.exemplar_job) batch.jobs[i].shard_ms = unit.shard_ms;
       if (!unit.error.empty()) batch.jobs[i].error = unit.error;
     }
   }
@@ -441,7 +484,11 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       r.critical_path = prepared[i]->levels.critical_path_length();
 
       Timer t;
-      const SelectionResult selection = select_patterns(job.dfg, *analysis[i], job.select);
+      const SelectionResult selection = [&] {
+        obs::Span span("engine.select", obs::tracing_enabled() ? job.workload
+                                                               : std::string());
+        return select_patterns(job.dfg, *analysis[i], job.select);
+      }();
       r.timings.select_ms = t.millis();
       r.antichains = selection.antichains_enumerated;
       r.candidate_patterns = selection.candidate_patterns;
@@ -459,8 +506,11 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       }
 
       t.reset();
-      const MpScheduleResult scheduled =
-          multi_pattern_schedule(job.dfg, patterns, job.schedule);
+      const MpScheduleResult scheduled = [&] {
+        obs::Span span("engine.schedule", obs::tracing_enabled() ? job.workload
+                                                                 : std::string());
+        return multi_pattern_schedule(job.dfg, patterns, job.schedule);
+      }();
       r.timings.schedule_ms = t.millis();
       if (!scheduled.success) {
         r.error = "schedule: " + scheduled.error;
@@ -488,6 +538,20 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     stats_.jobs_succeeded += batch.succeeded();
     stats_.analyses_computed += batch.analyses_computed;
     stats_.analyses_reused += batch.analyses_reused;
+    // Cache counters are captured at the dispatch boundary, under the
+    // same lock as the dispatch counters, so stats() can never report
+    // this dispatch without the cache traffic it produced.
+    stats_.cache = batch.cache_stats;
+  }
+  {
+    static obs::Counter& dispatches =
+        obs::Registry::global().counter("engine.dispatches");
+    static obs::Counter& jobs_total = obs::Registry::global().counter("engine.jobs");
+    static obs::Histogram& dispatch_ms =
+        obs::Registry::global().histogram("engine.dispatch_ms");
+    dispatches.add();
+    jobs_total.add(batch.jobs.size());
+    dispatch_ms.record(batch.wall_ms);
   }
   return batch;
 }

@@ -103,8 +103,11 @@ struct BatchResult {
 /// admission-queue snapshots — the "how warm is this engine" surface a
 /// long-running front end (src/service) reports without poking engine
 /// internals. Counters only grow (queue_depth is the instantaneous
-/// exception); `cache` is the shared AnalysisCache's own snapshot, so
-/// with an external cache it can include other engines' traffic.
+/// exception); `cache` is the AnalysisCache's counter snapshot captured
+/// at this engine's last completed dispatch — never mid-dispatch — so a
+/// stats() read always pairs dispatch counters with the cache traffic
+/// those dispatches produced. With an external shared cache it can
+/// include other engines' traffic up to that boundary.
 struct EngineStats {
   std::uint64_t batches = 0;  ///< dispatches executed (shared or singleton)
   std::uint64_t jobs = 0;
@@ -174,7 +177,10 @@ class Engine {
 
   /// Snapshot of the cumulative counters (thread-safe; dispatches may be
   /// executing concurrently — the snapshot is simply the last completed
-  /// state).
+  /// state). Dispatch-boundary consistent: the dispatch counters and
+  /// `cache` are read under one lock and updated under the same lock at
+  /// the end of every dispatch, so no snapshot can report a dispatch
+  /// without its cache hits (queue_depth stays instantaneous).
   EngineStats stats();
 
  private:

@@ -94,6 +94,10 @@ struct JobResult {
   bool analysis_cache_hit = false;
   AnalysisSource analysis_source = AnalysisSource::None;
   PhaseTimings timings{};
+  /// Measured wall ms per enumeration shard of this job's analysis.
+  /// Exemplar-charged like analysis_ms: populated only on the job that
+  /// computed the analysis fresh; empty on cache hits and duplicates.
+  std::vector<double> shard_ms;
 };
 
 }  // namespace mpsched::engine

@@ -1,7 +1,11 @@
 #include "engine/submission_queue.hpp"
 
+#include <chrono>
 #include <stdexcept>
 #include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace mpsched::engine {
 
@@ -64,6 +68,10 @@ bool Ticket::cancel() {
     }
   ++core_->stats.cancelled;
   core_->stats.queue_depth = core_->pending.size();
+  {
+    static obs::Gauge& depth = obs::Registry::global().gauge("queue.depth");
+    depth.set(static_cast<std::int64_t>(core_->stats.queue_depth));
+  }
   lock.unlock();
   entry_->promise.set_value(cancelled_result(entry_->job));
   return true;
@@ -123,6 +131,8 @@ std::vector<Ticket> SubmissionQueue::submit_batch(std::vector<Job> jobs) {
     core_->stats.queue_depth = core_->pending.size();
     if (core_->stats.queue_depth > core_->stats.max_queue_depth)
       core_->stats.max_queue_depth = core_->stats.queue_depth;
+    static obs::Gauge& depth = obs::Registry::global().gauge("queue.depth");
+    depth.set(static_cast<std::int64_t>(core_->stats.queue_depth));
   }
   core_->cv.notify_all();
 
@@ -182,6 +192,31 @@ void SubmissionQueue::dispatcher_loop() {
     core.stats.jobs_dispatched += batch.size();
     core.stats.queue_depth = 0;
     lock.unlock();
+
+    // Admission telemetry: how long each job sat queued (recorded
+    // retroactively — the wait happened off this thread's stack, so the
+    // span goes onto the exporter's synthetic queue tracks) and how many
+    // jobs this flush coalesced.
+    if (obs::metrics_enabled() || obs::tracing_enabled()) {
+      static obs::Gauge& depth = obs::Registry::global().gauge("queue.depth");
+      static obs::Histogram& wait_ms =
+          obs::Registry::global().histogram("queue.wait_ms");
+      static obs::Histogram& coalesce_jobs = obs::Registry::global().histogram(
+          "queue.coalesce_jobs", {1, 2, 4, 8, 16, 32, 64, 128});
+      depth.set(0);
+      coalesce_jobs.record(static_cast<double>(batch.size()));
+      const auto flushed = std::chrono::steady_clock::now();
+      const std::int64_t flush_ns = obs::trace_now_ns();
+      for (const auto& entry : batch) {
+        const double waited_ms =
+            std::chrono::duration<double, std::milli>(flushed - entry->enqueued)
+                .count();
+        wait_ms.record(waited_ms);
+        obs::record_span("queue.wait",
+                         flush_ns - static_cast<std::int64_t>(waited_ms * 1e6),
+                         flush_ns, entry->job.workload);
+      }
+    }
 
     std::vector<Job> jobs;
     jobs.reserve(batch.size());

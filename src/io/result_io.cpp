@@ -228,6 +228,13 @@ Json result_to_json(const JobResult& r, bool include_diagnostics) {
     t.set("schedule_ms", r.timings.schedule_ms);
     t.set("refine_ms", r.timings.refine_ms);
     j.set("timings", std::move(t));
+    // Measured per-shard wall times (exemplar-charged, like analysis_ms);
+    // omitted when empty — cache hits and duplicates ran no shards.
+    if (!r.shard_ms.empty()) {
+      Json shards = Json::array();
+      for (const double ms : r.shard_ms) shards.push_back(ms);
+      j.set("shard_ms", std::move(shards));
+    }
   }
   return j;
 }

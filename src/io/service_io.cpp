@@ -28,6 +28,7 @@ const char* to_text(Op op) {
     case Op::Wait: return "wait";
     case Op::Cancel: return "cancel";
     case Op::Stats: return "stats";
+    case Op::Metrics: return "metrics";
     case Op::CacheTrim: return "cache_trim";
     case Op::Shutdown: return "shutdown";
   }
@@ -43,6 +44,7 @@ Op op_from(const std::string& name) {
   if (name == "wait") return Op::Wait;
   if (name == "cancel") return Op::Cancel;
   if (name == "stats") return Op::Stats;
+  if (name == "metrics") return Op::Metrics;
   if (name == "cache_trim") return Op::CacheTrim;
   if (name == "shutdown") return Op::Shutdown;
   throw std::invalid_argument("request: unknown op '" + name + "'");
@@ -77,6 +79,7 @@ Json request_to_json(const Request& request) {
       break;
     case Op::Ping:
     case Op::Stats:
+    case Op::Metrics:
     case Op::Shutdown: break;
   }
   return doc;
@@ -122,6 +125,7 @@ Request request_from_json(const Json& doc) {
     }
     case Op::Ping:
     case Op::Stats:
+    case Op::Metrics:
     case Op::Shutdown:
       reject_unknown_keys(doc, {"op", "id"}, "request");
       break;

@@ -28,6 +28,9 @@
 //                              async request (dispatched jobs finish;
 //                              wait still collects every result)
 //   stats                      engine/cache/queue/server counter snapshot
+//   metrics          (v2)      process-wide observability registry: the
+//                              full metrics document ("metrics") plus a
+//                              Prometheus-style text page ("text")
 //   cache_trim                 age/size-based disk-cache maintenance
 //                              ("max_age_seconds" / "max_total_bytes",
 //                              0 = that limit disabled)
@@ -76,6 +79,7 @@ enum class Op {
   Wait,
   Cancel,
   Stats,
+  Metrics,
   CacheTrim,
   Shutdown,
 };

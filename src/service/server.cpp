@@ -23,6 +23,8 @@
 
 #include "engine/cache_store.hpp"
 #include "io/result_io.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/wire.hpp"
 #include "util/strings.hpp"
 #include "util/timer.hpp"
@@ -39,6 +41,30 @@ void signal_stop_handler(int) {
   if (Server* server = g_signal_server.load(std::memory_order_acquire))
     server->request_stop();
 }
+
+/// Session-scope bookkeeping shared by the stream and socket front ends:
+/// one counter tick and an active-session gauge held for the session's
+/// lifetime, alongside the serve.session trace span.
+class SessionScope {
+ public:
+  SessionScope() : span_("serve.session") {
+    static obs::Counter& session_count =
+        obs::Registry::global().counter("serve.sessions");
+    session_count.add();
+    active().add(1);
+  }
+  ~SessionScope() { active().add(-1); }
+  SessionScope(const SessionScope&) = delete;
+  SessionScope& operator=(const SessionScope&) = delete;
+
+ private:
+  static obs::Gauge& active() {
+    static obs::Gauge& gauge =
+        obs::Registry::global().gauge("serve.active_sessions");
+    return gauge;
+  }
+  obs::Span span_;
+};
 
 }  // namespace
 
@@ -341,6 +367,17 @@ Json Server::handle(const Request& request, Session& session) {
         return response;
       }
 
+      case Op::Metrics: {
+        // The observability registry is process-wide (one engine, one
+        // queue, one disk store per daemon), so this is a plain snapshot:
+        // the structured document for programmatic consumers and the
+        // Prometheus text page for scrapers, in one response.
+        Json response = make_ok(request);
+        response.set("metrics", obs::Registry::global().to_json());
+        response.set("text", obs::Registry::global().to_prometheus());
+        return response;
+      }
+
       case Op::CacheTrim: {
         engine::CacheStore* store = engine_.cache().disk_store();
         if (store == nullptr)
@@ -380,6 +417,16 @@ Json Server::handle_line(std::string_view line) {
 }
 
 Json Server::handle_line(std::string_view line, Session& session) {
+  static obs::Counter& request_count =
+      obs::Registry::global().counter("serve.requests");
+  static obs::Counter& error_count =
+      obs::Registry::global().counter("serve.errors");
+  static obs::Histogram& request_ms =
+      obs::Registry::global().histogram("serve.request_ms");
+  // The span opens before the parse (the op name is not known yet), so a
+  // malformed line still shows up in the trace as a served request.
+  obs::Span span("serve.request");
+  Timer wall;
   Json response;
   try {
     const Json doc = Json::parse(line);
@@ -401,12 +448,18 @@ Json Server::handle_line(std::string_view line, Session& session) {
   } catch (const std::exception& e) {
     response = make_error(0, "unknown", std::string("bad request line: ") + e.what());
   }
+  const bool ok = [&response] {
+    const Json* flag = response.find("ok");
+    return flag != nullptr && flag->as_bool();
+  }();
   {
     std::lock_guard lock(counters_mutex_);
     ++counters_.requests;
-    if (const Json* ok = response.find("ok"); ok == nullptr || !ok->as_bool())
-      ++counters_.errors;
+    if (!ok) ++counters_.errors;
   }
+  request_count.add();
+  if (!ok) error_count.add();
+  request_ms.record(wall.millis());
   return response;
 }
 
@@ -415,6 +468,7 @@ void Server::serve_stream(std::istream& in, std::ostream& out) {
     std::lock_guard lock(counters_mutex_);
     ++counters_.sessions;
   }
+  SessionScope scope;
   Session state;
   std::string line;
   while (!stop_requested() && std::getline(in, line)) {
@@ -443,6 +497,7 @@ void Server::session(int fd, bool single_request) {
   // arrive by a fixed deadline (a deadline, not a per-poll timeout —
   // trickling one byte at a time must not reset the clock).
   const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  SessionScope scope;
   Session state;
   std::string buffer;
   std::size_t scan_from = 0;  // newline search resumes where it left off

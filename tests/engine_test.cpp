@@ -7,11 +7,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <filesystem>
 #include <numeric>
+#include <thread>
 
 #include "antichain/enumerate.hpp"
 #include "core/mp_schedule.hpp"
 #include "core/select.hpp"
+#include "engine/cache_store.hpp"
 #include "io/result_io.hpp"
 #include "test_util.hpp"
 #include "workloads/corpus.hpp"
@@ -496,6 +500,109 @@ TEST(CorpusIo, RejectsMalformedCorpora) {
       corpus_from_json(Json::parse(
           header + R"([{"workload":"dct8","refinement":{"max_sweeps":3}}]})")),
       std::invalid_argument);
+}
+
+TEST(Engine, StatsCacheCountersAreDispatchBoundaryConsistent) {
+  // stats() promises dispatch-boundary consistency: the cache counter
+  // snapshot and the dispatch counters are captured under one lock and
+  // updated under the same lock at the end of every dispatch, so no
+  // snapshot can report a dispatch without the cache traffic that
+  // dispatch caused. With a private cache and all-distinct jobs, every
+  // computed analysis is exactly one analysis miss — a reader racing the
+  // dispatch tail would see computed > misses under the old live read.
+  Engine eng;
+  std::atomic<bool> done{false};
+  std::atomic<std::uint64_t> inconsistent{0};
+  std::thread hammer([&] {
+    while (!done.load(std::memory_order_acquire)) {
+      const engine::EngineStats snapshot = eng.stats();
+      if (snapshot.cache.analysis_misses != snapshot.analyses_computed)
+        inconsistent.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  // 16 distinct fir taps across 8 batches: no duplicates anywhere, so the
+  // invariant is exact at every dispatch boundary.
+  for (int batch = 0; batch < 8; ++batch) {
+    std::vector<Job> jobs;
+    jobs.push_back(Job::from_workload("fir(" + std::to_string(2 + 2 * batch) + ")"));
+    jobs.push_back(Job::from_workload("fir(" + std::to_string(3 + 2 * batch) + ")"));
+    const engine::BatchResult result = eng.run_batch(jobs);
+    ASSERT_EQ(result.succeeded(), jobs.size());
+  }
+  done.store(true, std::memory_order_release);
+  hammer.join();
+  EXPECT_EQ(inconsistent.load(), 0u);
+  const engine::EngineStats final_stats = eng.stats();
+  EXPECT_EQ(final_stats.analyses_computed, 16u);
+  EXPECT_EQ(final_stats.cache.analysis_misses, 16u);
+}
+
+TEST(Engine, ShardWallTimesAreExemplarCharged) {
+  Engine eng;
+  const std::vector<Job> jobs = test_corpus();  // paper_3dft at 0 and 3
+  const engine::BatchResult batch = eng.run_batch(jobs);
+  ASSERT_EQ(batch.succeeded(), jobs.size());
+
+  // The exemplar carries one measured wall time per shard; the duplicate
+  // and every later cache hit carry none — same charging convention as
+  // analysis_ms, so summing over a results file reflects work done.
+  ASSERT_FALSE(batch.jobs[0].shard_ms.empty());
+  for (const double ms : batch.jobs[0].shard_ms) EXPECT_GE(ms, 0.0);
+  EXPECT_TRUE(batch.jobs[3].shard_ms.empty());
+
+  const engine::BatchResult warm = eng.run_batch(jobs);
+  for (const engine::JobResult& r : warm.jobs) EXPECT_TRUE(r.shard_ms.empty());
+
+  // Serialization: shard_ms is diagnostics-only and omitted when empty.
+  const Json with_diag = result_to_json(batch.jobs[0], true);
+  ASSERT_NE(with_diag.find("shard_ms"), nullptr);
+  EXPECT_EQ(with_diag.at("shard_ms").as_array().size(), batch.jobs[0].shard_ms.size());
+  EXPECT_EQ(result_to_json(batch.jobs[0], false).find("shard_ms"), nullptr);
+  EXPECT_EQ(result_to_json(batch.jobs[3], true).find("shard_ms"), nullptr);
+}
+
+TEST(Engine, CostSidecarLandsNextToTheCacheEntry) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path("engine_test.tmp") / "cost_sidecar";
+  fs::remove_all(dir);
+
+  Job job = Job::from_workload("paper_3dft");
+  EngineOptions options;
+  options.cache_dir = dir.string();
+  Engine eng(options);
+  const engine::BatchResult batch = eng.run_batch({job});
+  ASSERT_EQ(batch.succeeded(), 1u);
+
+  const CacheKey key = AnalysisCache::analysis_key(
+      job.dfg, job.select.generation, job.select.capacity, job.select.span_limit);
+  const fs::path sidecar = dir / engine::CacheStore::sidecar_filename(key);
+  ASSERT_TRUE(fs::exists(sidecar)) << sidecar;
+
+  const std::optional<Json> doc = eng.cache().disk_store()->load_cost_sidecar(key);
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->at("format").as_string(), "mpsched.shardcost/v1");
+  EXPECT_EQ(doc->at("key").as_string(), key.to_string());
+  EXPECT_EQ(doc->at("workload").as_string(), "paper_3dft");
+  EXPECT_EQ(static_cast<std::size_t>(doc->at("nodes").as_int()),
+            job.dfg.node_count());
+  const Json::Array& shards = doc->at("shards").as_array();
+  ASSERT_EQ(shards.size(), batch.jobs[0].shard_ms.size());
+  std::size_t roots = 0;
+  double total = 0.0;
+  for (const Json& shard : shards) {
+    roots += static_cast<std::size_t>(shard.at("roots").as_int());
+    total += shard.at("ms").as_double();
+  }
+  EXPECT_EQ(roots, job.dfg.node_count());  // shards partition the roots
+  EXPECT_DOUBLE_EQ(doc->at("total_ms").as_double(), total);
+
+  // Trimming the entry takes its sidecar with it.
+  engine::TrimOptions trim;
+  trim.max_total_bytes = 1;
+  eng.cache().disk_store()->trim(trim);
+  EXPECT_FALSE(fs::exists(sidecar));
+
+  fs::remove_all("engine_test.tmp");
 }
 
 TEST(Workloads, SpecRegistry) {

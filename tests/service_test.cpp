@@ -104,6 +104,10 @@ TEST_F(ServiceTest, RequestRoundTripIsAFixpoint) {
   Request stats;
   stats.op = Op::Stats;
   requests.push_back(stats);
+  Request metrics;
+  metrics.op = Op::Metrics;
+  metrics.id = 11;
+  requests.push_back(metrics);
   Request shutdown;
   shutdown.op = Op::Shutdown;
   shutdown.id = 99;
@@ -143,6 +147,7 @@ TEST_F(ServiceTest, MalformedRequestsAreRejected) {
   EXPECT_TRUE(rejected("{\"op\":\"wait\",\"request\":\"x\"}"));   // non-integer id
   EXPECT_TRUE(rejected("{\"op\":\"cancel\",\"request\":1,\"x\":1}"));  // unknown key
   EXPECT_TRUE(rejected("{\"op\":\"submit_async\",\"request\":1}"));    // wrong key
+  EXPECT_TRUE(rejected("{\"op\":\"metrics\",\"x\":1}"));               // unknown key
 }
 
 TEST_F(ServiceTest, SubmitMatchesOneShotBatchByteForByte) {
@@ -537,6 +542,34 @@ TEST_F(ServiceTest, StatsReportQueueCountersAndFormat) {
   // The formatter is total: an empty body renders to an empty string
   // rather than throwing — older servers simply print less.
   EXPECT_TRUE(service::format_stats(Json::object()).empty());
+}
+
+TEST_F(ServiceTest, MetricsOpReturnsRegistrySnapshotAndPrometheusPage) {
+  Server server(ServerOptions{});
+  Request submit;
+  submit.op = Op::Submit;
+  submit.jobs = small_corpus();
+  ASSERT_TRUE(server.handle(submit).at("ok").as_bool());
+
+  // Route through handle_line so the serve.request instruments move too.
+  Server::Session session;
+  const Json response =
+      server.handle_line("{\"op\":\"metrics\",\"id\":9}", session);
+  ASSERT_TRUE(response.at("ok").as_bool());
+  EXPECT_EQ(response.at("id").as_int(), 9);
+  EXPECT_EQ(response.at("op").as_string(), "metrics");
+
+  // The structured document carries the engine lifecycle counters the
+  // submit just advanced, and the text page is Prometheus exposition of
+  // the same registry.
+  const Json& metrics = response.at("metrics");
+  EXPECT_GE(metrics.at("counters").at("engine.dispatches").as_int(), 1);
+  EXPECT_GE(metrics.at("histograms").at("engine.dispatch_ms").at("count").as_int(), 1);
+  const std::string text = response.at("text").as_string();
+  EXPECT_NE(text.find("# TYPE mpsched_engine_dispatches counter"), std::string::npos);
+  EXPECT_NE(text.find("mpsched_engine_dispatch_ms_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("mpsched_serve_requests"), std::string::npos);
 }
 
 TEST_F(ServiceTest, CacheTrimWithoutDiskTierIsAProtocolError) {

@@ -33,6 +33,7 @@
 #include "engine/cache_store.hpp"
 #include "engine/engine.hpp"
 #include "io/result_io.hpp"
+#include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -50,6 +51,7 @@ int usage(const char* argv0) {
       "  %s --corpus FILE --out FILE [--threads N] [--no-cache]\n"
       "     [--cache-dir DIR] [--cache-stats] [--require-full-cache]\n"
       "     [--shard-policy uniform|adaptive] [--diagnostics] [--compact]\n"
+      "     [--trace-out FILE]\n"
       "  %s --demo FILE\n"
       "  %s --list\n"
       "  %s --selftest\n"
@@ -148,7 +150,7 @@ int selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string corpus_path, out_path, demo_path, cache_dir;
+  std::string corpus_path, out_path, demo_path, cache_dir, trace_out;
   std::size_t threads = 0, trim_age = 0, trim_max_bytes = 0;
   engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
   bool no_cache = false, diagnostics = false, compact = false, list = false,
@@ -175,6 +177,7 @@ int main(int argc, char** argv) {
       else if (arg == "--shard-policy") shard_policy = shard_policy_from(value());
       else if (arg == "--diagnostics") diagnostics = true;
       else if (arg == "--compact") compact = true;
+      else if (arg == "--trace-out") trace_out = value();
       else if (arg == "--list") list = true;
       else if (arg == "--selftest") run_selftest = true;
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
@@ -234,12 +237,21 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    if (!trace_out.empty() && corpus_path.empty()) {
+      std::printf("error: --trace-out requires --corpus (only a batch run records spans)\n");
+      return 2;
+    }
+
     if (corpus_path.empty() || out_path.empty()) return usage(argv[0]);
 
     if (no_cache && !cache_dir.empty()) {
       std::printf("error: --no-cache and --cache-dir are mutually exclusive\n");
       return 2;
     }
+
+    // Tracing covers the whole run (queue waits, per-shard enumeration,
+    // cache-tier access) and flushes once after the results are written.
+    if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
     const std::vector<engine::Job> jobs = load_corpus(corpus_path);
     engine::EngineOptions options;
@@ -254,6 +266,14 @@ int main(int argc, char** argv) {
     if (cache_stats) print_cache_stats(eng);
     save_json(batch_to_json(batch, diagnostics), out_path, compact ? -1 : 2);
     std::printf("results written to %s\n", out_path.c_str());
+    if (!trace_out.empty()) {
+      if (!obs::write_trace(trace_out)) {
+        std::printf("error: cannot write trace to %s\n", trace_out.c_str());
+        return 1;
+      }
+      std::printf("trace written to %s (%zu spans, %zu dropped)\n", trace_out.c_str(),
+                  obs::trace_span_count(), obs::trace_dropped());
+    }
     if (require_full_cache && batch.analyses_computed != 0) {
       // Results are on disk for diffing; the exit status carries the
       // verdict the shared-cache CI flow asserts on.

@@ -6,6 +6,7 @@
 //                  [--async [--pipeline N]]
 //   mpsched_client --socket PATH --ping
 //   mpsched_client --socket PATH --stats [--json]
+//   mpsched_client --socket PATH --metrics [--json]
 //   mpsched_client --socket PATH --cache-trim [--trim-age SECONDS]
 //                  [--trim-max-bytes BYTES]
 //   mpsched_client --socket PATH --shutdown [--wait-exit-ms MS]
@@ -46,7 +47,7 @@ int usage(const char* argv0) {
       "usage:\n"
       "  %s --socket PATH --corpus FILE [--out FILE] [--diagnostics] [--compact]\n"
       "     [--require-full-cache] [--async [--pipeline N]]\n"
-      "  %s --socket PATH --ping | --stats [--json]\n"
+      "  %s --socket PATH --ping | --stats [--json] | --metrics [--json]\n"
       "  %s --socket PATH --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n"
       "  %s --socket PATH --shutdown [--wait-exit-ms MS]\n",
       argv0, argv0, argv0, argv0);
@@ -89,7 +90,7 @@ int finish_submit(const Json& results, std::int64_t computed, std::int64_t reuse
 
 int main(int argc, char** argv) {
   std::string socket_path, corpus_path, out_path;
-  bool ping = false, stats = false, cache_trim = false, shutdown = false;
+  bool ping = false, stats = false, metrics = false, cache_trim = false, shutdown = false;
   bool diagnostics = false, compact = false, require_full_cache = false;
   bool async = false, stats_json = false;
   std::size_t pipeline = 1;
@@ -109,6 +110,7 @@ int main(int argc, char** argv) {
       else if (arg == "--pipeline") pipeline = size_flag(arg, value(), 1024);
       else if (arg == "--ping") ping = true;
       else if (arg == "--stats") stats = true;
+      else if (arg == "--metrics") metrics = true;
       else if (arg == "--json") stats_json = true;
       else if (arg == "--cache-trim") cache_trim = true;
       else if (arg == "--trim-age")
@@ -126,7 +128,7 @@ int main(int argc, char** argv) {
     }
 
     const int ops = (corpus_path.empty() ? 0 : 1) + (ping ? 1 : 0) + (stats ? 1 : 0) +
-                    (cache_trim ? 1 : 0) + (shutdown ? 1 : 0);
+                    (metrics ? 1 : 0) + (cache_trim ? 1 : 0) + (shutdown ? 1 : 0);
     if (socket_path.empty() || ops != 1) return usage(argv[0]);
     if (!cache_trim && (trim_age != 0 || trim_max_bytes != 0)) {
       std::printf("error: --trim-age/--trim-max-bytes require --cache-trim\n");
@@ -144,8 +146,8 @@ int main(int argc, char** argv) {
       std::printf("error: --pipeline must be at least 1\n");
       return 2;
     }
-    if (stats_json && !stats) {
-      std::printf("error: --json requires --stats\n");
+    if (stats_json && !stats && !metrics) {
+      std::printf("error: --json requires --stats or --metrics\n");
       return 2;
     }
 
@@ -171,6 +173,21 @@ int main(int argc, char** argv) {
         std::printf("%s\n", body.dump(2).c_str());
       else
         std::fputs(service::format_stats(body).c_str(), stdout);
+      return 0;
+    }
+
+    if (metrics) {
+      service::Request request;
+      request.op = service::Op::Metrics;
+      request.id = 1;
+      const service::Response response = client.call(request);
+      const Json& body = require_ok(response);
+      if (stats_json)
+        std::printf("%s\n", body.at("metrics").dump(2).c_str());
+      else
+        // The Prometheus text page, verbatim — pipe it straight into a
+        // scrape file or grep a counter out of it.
+        std::fputs(body.at("text").as_string().c_str(), stdout);
       return 0;
     }
 

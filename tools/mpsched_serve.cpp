@@ -10,8 +10,14 @@
 //   mpsched_serve --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]
 //                 [--shard-policy uniform|adaptive] [--max-clients N]
 //                 [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]
-//                 [--daemonize]
+//                 [--daemonize] [--trace-out FILE]
 //   mpsched_serve --stdio [same engine flags]
+//
+// --trace-out enables structured tracing (src/obs) for the daemon's whole
+// lifetime and writes the span ring as Chrome trace-event JSON on graceful
+// shutdown — load the file in chrome://tracing or Perfetto to see queue
+// waits, dispatches, per-shard enumeration, and cache-tier access across
+// every session. Use an absolute path with --daemonize.
 //
 // Coalescing: every submission (blocking or async, any session) rides the
 // engine's admission queue. By default a lone job dispatches immediately
@@ -41,6 +47,7 @@
 
 #include "cli_common.hpp"
 #include "engine/cache_store.hpp"
+#include "obs/trace.hpp"
 #include "service/server.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,7 +63,7 @@ int usage(const char* argv0) {
       "  %s --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]\n"
       "     [--shard-policy uniform|adaptive] [--max-clients N]\n"
       "     [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]\n"
-      "     [--daemonize]\n"
+      "     [--daemonize] [--trace-out FILE]\n"
       "  %s --stdio [same engine flags]\n",
       argv0, argv0);
   return 2;
@@ -88,10 +95,24 @@ bool daemonize_or_exit_parent(const std::string& socket_path) {
 }
 #endif
 
+/// Flushes the trace ring to --trace-out after a graceful stop. The write
+/// is best-effort: under --daemonize stdout is already on /dev/null, so a
+/// failure surfaces as a nonzero exit, not a message.
+int flush_trace(const std::string& trace_out) {
+  if (trace_out.empty()) return 0;
+  if (!obs::write_trace(trace_out)) {
+    std::printf("error: cannot write trace to %s\n", trace_out.c_str());
+    return 1;
+  }
+  std::printf("trace written to %s (%zu spans, %zu dropped)\n", trace_out.c_str(),
+              obs::trace_span_count(), obs::trace_dropped());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, cache_dir;
+  std::string socket_path, cache_dir, trace_out;
   std::size_t threads = 0, max_clients = 16;
   engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
   engine::CoalescePolicy coalesce;
@@ -117,6 +138,7 @@ int main(int argc, char** argv) {
         coalesce_flags_given = true;
       } else if (arg == "--hold-queue") coalesce.flush_on_idle = false;
       else if (arg == "--daemonize") daemonize = true;
+      else if (arg == "--trace-out") trace_out = value();
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
       else {
         std::printf("error: unknown argument '%s'\n", arg.c_str());
@@ -156,6 +178,11 @@ int main(int argc, char** argv) {
       return 2;
     }
 
+    // Tracing is enabled for the daemon's whole lifetime and the ring is
+    // flushed once, after the graceful drain — spans from every session
+    // land in one file.
+    if (!trace_out.empty()) obs::set_tracing_enabled(true);
+
     service::ServerOptions options;
     options.engine.threads = threads;
     options.engine.use_cache = !no_cache;
@@ -169,7 +196,7 @@ int main(int argc, char** argv) {
       service::Server server(options);
       server.install_signal_handlers();
       server.serve_stream(std::cin, std::cout);
-      return 0;
+      return flush_trace(trace_out);
     }
 
     // Bind before fork and before the engine's threads exist: the parent
@@ -191,7 +218,7 @@ int main(int argc, char** argv) {
       std::printf("mpsched_serve: listening on %s (ctrl-C for graceful shutdown)\n",
                   socket_path.c_str());
     server.serve_socket();
-    return 0;
+    return flush_trace(trace_out);
   } catch (const std::exception& e) {
     std::printf("error: %s\n", e.what());
     return 1;
