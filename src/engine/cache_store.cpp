@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <filesystem>
 #include <system_error>
 #include <vector>
@@ -252,6 +253,92 @@ std::optional<Json> CacheStore::load_cost_sidecar(const CacheKey& key) const {
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+std::optional<std::vector<std::uint64_t>> CacheStore::measured_root_costs(
+    const Json& doc, std::size_t node_count) {
+  try {
+    if (!doc.is_object() || node_count == 0) return std::nullopt;
+    const Json* format = doc.find("format");
+    if (format == nullptr || !format->is_string() ||
+        format->as_string() != kCostSidecarFormat)
+      return std::nullopt;
+    const Json* nodes = doc.find("nodes");
+    if (nodes == nullptr || !nodes->is_int() ||
+        nodes->as_int() != static_cast<std::int64_t>(node_count))
+      return std::nullopt;
+    const Json* shards = doc.find("shards");
+    if (shards == nullptr || !shards->is_array() || shards->as_array().empty())
+      return std::nullopt;
+
+    std::vector<std::uint64_t> costs(node_count, 0);
+    std::vector<bool> seen(node_count, false);
+    std::size_t covered = 0;
+    for (const Json& shard : shards->as_array()) {
+      if (!shard.is_object()) return std::nullopt;
+      const Json* roots = shard.find("roots");
+      const Json* ms = shard.find("ms");
+      if (roots == nullptr || !roots->is_array() || roots->as_array().empty() ||
+          ms == nullptr || !ms->is_number())
+        return std::nullopt;
+      const double shard_ms = ms->as_double();
+      if (!std::isfinite(shard_ms) || shard_ms < 0) return std::nullopt;
+      // One shard's wall time spread evenly over its roots, as integer
+      // microseconds. The floor of 1 keeps zero-cost roots visible to the
+      // LPT packer; the cap (~11.5 days per root) keeps any sum of loads
+      // far from uint64 overflow.
+      const double scaled =
+          shard_ms / static_cast<double>(roots->as_array().size()) * 1000.0;
+      const std::uint64_t cost =
+          scaled >= 1e12
+              ? static_cast<std::uint64_t>(1e12)
+              : std::max<std::uint64_t>(
+                    1, static_cast<std::uint64_t>(std::llround(scaled)));
+      for (const Json& id : roots->as_array()) {
+        if (!id.is_int()) return std::nullopt;
+        const std::int64_t r = id.as_int();
+        if (r < 0 || r >= static_cast<std::int64_t>(node_count)) return std::nullopt;
+        const std::size_t root = static_cast<std::size_t>(r);
+        if (seen[root]) return std::nullopt;  // duplicate root across shards
+        seen[root] = true;
+        costs[root] = cost;
+        ++covered;
+      }
+    }
+    if (covered != node_count) return std::nullopt;  // roots missing: drift
+    return costs;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+MeasuredCosts CacheStore::load_measured_root_costs(const CacheKey& key,
+                                                   std::size_t node_count) const {
+  MeasuredCosts out;
+  const std::optional<Json> doc = load_cost_sidecar(key);
+  if (!doc) {
+    // Distinguish "no sidecar" (the normal cold case) from "sidecar
+    // present but unreadable" — the latter is corruption and must surface
+    // as Invalid so fallback accounting sees it under every policy.
+    std::error_code ec;
+    if (fs::exists(fs::path(dir_) / sidecar_filename(key), ec) && !ec)
+      out.status = MeasuredCosts::Status::Invalid;
+    return out;
+  }
+  out.status = MeasuredCosts::Status::Invalid;
+  try {
+    const Json* embedded = doc->find("key");
+    if (embedded == nullptr || !embedded->is_string() ||
+        embedded->as_string() != key.to_string())
+      return out;
+    auto costs = measured_root_costs(*doc, node_count);
+    if (!costs) return out;
+    out.status = MeasuredCosts::Status::Ok;
+    out.root_costs = std::move(*costs);
+  } catch (const std::exception&) {
+    out.status = MeasuredCosts::Status::Invalid;
+  }
+  return out;
 }
 
 std::size_t CacheStore::entry_count() const {

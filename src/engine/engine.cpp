@@ -130,6 +130,11 @@ Engine::Engine(EngineOptions options) : options_(std::move(options)) {
         "EngineOptions: coalesce.flush_on_idle=false requires max_delay_ms >= 1 "
         "(a zero hold expires instantly, silently disabling the coalescing the "
         "caller asked for)");
+  if (options_.coalesce.adaptive_delay && options_.coalesce.flush_on_idle)
+    throw std::invalid_argument(
+        "EngineOptions: coalesce.adaptive_delay requires flush_on_idle=false "
+        "(with flush-on-idle there is no hold window to adapt, so the knob "
+        "would be silently inert)");
   if (options_.threads > 0) owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
   if (options_.cache == nullptr) owned_cache_ = std::make_unique<AnalysisCache>();
   if (!options_.cache_dir.empty())
@@ -212,7 +217,15 @@ BatchResult Engine::run_batch(const std::vector<Job>& jobs) {
   Timer wall;
   BatchResult batch = collect_tickets(submit_batch(jobs));
   batch.wall_ms = wall.millis();
-  batch.cache_stats = cache().stats();
+  // Cache counters come from the dispatch-boundary snapshot, not a live
+  // cache().stats() read: our dispatch updated stats_.cache under
+  // stats_mutex_ before the tickets resolved, and a live read under
+  // concurrent sessions could tear mid-dispatch (the torn view stats()
+  // was fixed to never return).
+  {
+    std::lock_guard lock(stats_mutex_);
+    batch.cache_stats = stats_.cache;
+  }
   return batch;
 }
 
@@ -359,8 +372,37 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     const Job& job = jobs[unit.exemplar_job];
     if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
       const std::size_t target_shards = worker_count * options_.shards_per_thread;
-      bool adaptive = options_.shard_policy == ShardPolicy::Adaptive;
-      if (adaptive) {
+      bool planned = false;
+      // Measured-cost packing: on a repeated corpus whose entry must be
+      // recomputed (evicted, torn, or trimmed away) but whose cost
+      // sidecar survived, pack from the previously observed per-shard
+      // wall times instead of the width estimate. Adaptive upgrades
+      // itself whenever a valid sidecar is present; Measured additionally
+      // counts a missing sidecar as a fallback so a caller expecting warm
+      // measurements can see when they are not there.
+      if (options_.shard_policy != ShardPolicy::Uniform && options_.use_cache) {
+        static obs::Counter& measured_plans =
+            obs::Registry::global().counter("engine.shard_plan.measured");
+        static obs::Counter& fallback_plans =
+            obs::Registry::global().counter("engine.shard_plan.fallback");
+        const CacheStore* disk = store.disk_store();
+        MeasuredCosts measured;
+        if (disk != nullptr)
+          measured = disk->load_measured_root_costs(unit.key, job.dfg.node_count());
+        if (measured.ok()) {
+          unit.shard_roots = pack_roots_by_cost(measured.root_costs, target_shards);
+          planned = true;
+          measured_plans.add();
+        } else if (measured.status == MeasuredCosts::Status::Invalid ||
+                   options_.shard_policy == ShardPolicy::Measured) {
+          fallback_plans.add();
+        }
+      } else if (options_.shard_policy == ShardPolicy::Measured) {
+        static obs::Counter& fallback_plans =
+            obs::Registry::global().counter("engine.shard_plan.fallback");
+        fallback_plans.add();  // no cache, so no sidecar to measure from
+      }
+      if (!planned && options_.shard_policy != ShardPolicy::Uniform) {
         // Cost estimation validates the same options the enumeration will;
         // on bad options (e.g. capacity 0) fall back to a uniform plan and
         // let the shard task surface the real error as this job's failure.
@@ -374,11 +416,12 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
           unit.shard_roots = pack_roots_by_cost(
               estimate_root_costs(job.dfg, graph.levels, graph.reach, estimate_options),
               target_shards);
+          planned = true;
         } catch (const std::exception&) {
-          adaptive = false;
+          planned = false;
         }
       }
-      if (!adaptive)
+      if (!planned)
         unit.shard_roots = partition_roots(job.dfg.node_count(), target_shards);
     } else {
       unit.shard_roots.resize(1);  // closed-form counting: one cheap task
@@ -445,14 +488,20 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       // like every disk-tier write.
       if (CacheStore* disk = store.disk_store(); disk != nullptr) {
         Json cost = Json::object();
-        cost.set("format", Json("mpsched.shardcost/v1"));
+        cost.set("format", Json(CacheStore::kCostSidecarFormat));
         cost.set("key", Json(unit.key.to_string()));
         cost.set("workload", Json(job.workload));
         cost.set("nodes", Json(job.dfg.node_count()));
         Json shards = Json::array();
         for (std::size_t s = 0; s < unit.shard_roots.size(); ++s) {
           Json shard = Json::object();
-          shard.set("roots", Json(unit.shard_roots[s].size()));
+          // The actual root ids, not just a count: what lets a later run
+          // convert this shard's wall time back into per-root packing
+          // costs and validate the plan still partitions the graph.
+          Json roots = Json::array();
+          for (const NodeId r : unit.shard_roots[s])
+            roots.push_back(Json(static_cast<std::int64_t>(r)));
+          shard.set("roots", std::move(roots));
           shard.set("ms", Json(unit.shard_ms[s]));
           shards.push_back(std::move(shard));
         }

@@ -48,14 +48,26 @@ class ThreadPool;
 
 namespace mpsched::engine {
 
-/// How enumeration roots are grouped into shards. Either policy produces
+/// How enumeration roots are grouped into shards. Every policy produces
 /// byte-identical results (shard merging is grouping-insensitive); they
 /// differ only in load balance.
 enum class ShardPolicy {
   /// Cyclic uniform-by-root partition (the PR 2 behavior).
   Uniform,
   /// Cost-estimated: estimate_root_cost() per root, greedy LPT packing.
+  /// On a repeated corpus with a disk tier attached this upgrades itself
+  /// to measured costs: when the unit's `<key>.cost.json` sidecar (the
+  /// observed per-shard wall times of the previous computation) is
+  /// present and valid, the packer uses those instead of the estimate.
   Adaptive,
+  /// Measured-first: pack from the cost sidecar's observed wall times,
+  /// falling back to the estimate when the sidecar is missing, corrupt,
+  /// or shape-mismatched (every fallback bumps the
+  /// `engine.shard_plan.fallback` counter; a measured plan bumps
+  /// `engine.shard_plan.measured`). Identical to Adaptive except that
+  /// missing measurements also count as fallbacks — the policy for
+  /// callers who expect a warm sidecar and want to see when it is not.
+  Measured,
 };
 
 struct EngineOptions {
@@ -74,7 +86,8 @@ struct EngineOptions {
   /// Sharding granularity: target shards ≈ shards_per_thread × workers,
   /// clamped to the node count. Higher = better balance, more merge work.
   std::size_t shards_per_thread = 4;
-  /// How roots are packed into shards; results are identical either way.
+  /// How roots are packed into shards; results are identical under every
+  /// policy — only the load balance differs.
   ShardPolicy shard_policy = ShardPolicy::Adaptive;
   /// When the admission queue behind submit()/run_batch() flushes queued
   /// jobs into one shared dispatch (submission_queue.hpp). The default —

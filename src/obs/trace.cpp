@@ -89,6 +89,13 @@ std::int64_t trace_now_ns() {
       .count();
 }
 
+std::int64_t trace_ns_of(std::chrono::steady_clock::time_point tp) {
+  const std::int64_t ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              tp - trace_epoch())
+                              .count();
+  return ns < 0 ? 0 : ns;
+}
+
 void record_span(const char* name, std::int64_t start_ns, std::int64_t end_ns,
                  std::string arg) {
   if (!tracing_enabled()) return;

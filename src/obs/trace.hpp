@@ -20,6 +20,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -46,6 +47,13 @@ void set_tracing_enabled(bool on);
 /// Nanoseconds on the steady clock since the process trace epoch (the
 /// first call in the process). Monotonic, never negative.
 std::int64_t trace_now_ns();
+
+/// A steady-clock time point on the trace_now_ns() scale, clamped to >= 0
+/// for points that predate the epoch. For retroactive spans whose
+/// endpoints were captured as time_points (e.g. queue admission stamps):
+/// converting the stamp directly preserves nanosecond precision, where a
+/// round-trip through a fractional-milliseconds double does not.
+std::int64_t trace_ns_of(std::chrono::steady_clock::time_point tp);
 
 /// Records a completed interval that did not run on this thread's stack
 /// (e.g. queue wait). The exporter assigns these to synthetic track tids

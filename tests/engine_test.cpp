@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <numeric>
 #include <thread>
 
@@ -17,6 +18,7 @@
 #include "core/select.hpp"
 #include "engine/cache_store.hpp"
 #include "io/result_io.hpp"
+#include "obs/metrics.hpp"
 #include "test_util.hpp"
 #include "workloads/corpus.hpp"
 #include "workloads/paper_graphs.hpp"
@@ -232,7 +234,8 @@ TEST(Engine, DeterministicAcrossThreadCountsCacheSettingsAndShardPolicies) {
   std::string reference;
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
     for (const bool use_cache : {true, false}) {
-      for (const ShardPolicy policy : {ShardPolicy::Uniform, ShardPolicy::Adaptive}) {
+      for (const ShardPolicy policy :
+           {ShardPolicy::Uniform, ShardPolicy::Adaptive, ShardPolicy::Measured}) {
         EngineOptions options;
         options.threads = threads;
         options.use_cache = use_cache;
@@ -244,7 +247,7 @@ TEST(Engine, DeterministicAcrossThreadCountsCacheSettingsAndShardPolicies) {
         if (reference.empty()) reference = serialized;
         EXPECT_EQ(serialized, reference)
             << "results diverge at threads=" << threads << " cache=" << use_cache
-            << " adaptive=" << (policy == ShardPolicy::Adaptive);
+            << " policy=" << static_cast<int>(policy);
       }
     }
   }
@@ -528,6 +531,10 @@ TEST(Engine, StatsCacheCountersAreDispatchBoundaryConsistent) {
     jobs.push_back(Job::from_workload("fir(" + std::to_string(3 + 2 * batch) + ")"));
     const engine::BatchResult result = eng.run_batch(jobs);
     ASSERT_EQ(result.succeeded(), jobs.size());
+    // run_batch reports the same dispatch-boundary snapshot stats() does —
+    // exact here because the batches are sequential and all-distinct.
+    EXPECT_EQ(result.cache_stats.analysis_misses,
+              2u * static_cast<std::uint64_t>(batch + 1));
   }
   done.store(true, std::memory_order_release);
   hammer.join();
@@ -535,6 +542,38 @@ TEST(Engine, StatsCacheCountersAreDispatchBoundaryConsistent) {
   const engine::EngineStats final_stats = eng.stats();
   EXPECT_EQ(final_stats.analyses_computed, 16u);
   EXPECT_EQ(final_stats.cache.analysis_misses, 16u);
+}
+
+TEST(Engine, RunBatchCacheStatsAreDispatchBoundaryConsistent) {
+  // BatchResult::cache_stats must be the same dispatch-boundary snapshot
+  // stats() serves, not a live read of the cache counters: a live read can
+  // land mid-way through a concurrent dispatch's lookups and tear the
+  // invariant below. Every batch holds 2 globally-distinct jobs, so each
+  // dispatch — coalesced or not — adds an even number of analysis misses,
+  // and every boundary snapshot reports an even count.
+  Engine eng;
+  std::atomic<int> violations{0};
+  std::atomic<int> next{0};
+  constexpr int kJobs = 32;  // fir taps 2..33, all distinct
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&] {
+      for (;;) {
+        const int base = next.fetch_add(2, std::memory_order_relaxed);
+        if (base >= kJobs) break;
+        std::vector<Job> jobs;
+        jobs.push_back(Job::from_workload("fir(" + std::to_string(2 + base) + ")"));
+        jobs.push_back(Job::from_workload("fir(" + std::to_string(3 + base) + ")"));
+        const engine::BatchResult result = eng.run_batch(jobs);
+        if (result.succeeded() != jobs.size() ||
+            result.cache_stats.analysis_misses % 2 != 0)
+          violations.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (std::thread& th : workers) th.join();
+  EXPECT_EQ(violations.load(), 0);
+  EXPECT_EQ(eng.stats().cache.analysis_misses, static_cast<std::uint64_t>(kJobs));
 }
 
 TEST(Engine, ShardWallTimesAreExemplarCharged) {
@@ -580,27 +619,152 @@ TEST(Engine, CostSidecarLandsNextToTheCacheEntry) {
 
   const std::optional<Json> doc = eng.cache().disk_store()->load_cost_sidecar(key);
   ASSERT_TRUE(doc.has_value());
-  EXPECT_EQ(doc->at("format").as_string(), "mpsched.shardcost/v1");
+  EXPECT_EQ(doc->at("format").as_string(), engine::CacheStore::kCostSidecarFormat);
   EXPECT_EQ(doc->at("key").as_string(), key.to_string());
   EXPECT_EQ(doc->at("workload").as_string(), "paper_3dft");
   EXPECT_EQ(static_cast<std::size_t>(doc->at("nodes").as_int()),
             job.dfg.node_count());
   const Json::Array& shards = doc->at("shards").as_array();
   ASSERT_EQ(shards.size(), batch.jobs[0].shard_ms.size());
+  std::vector<bool> seen(job.dfg.node_count(), false);
   std::size_t roots = 0;
   double total = 0.0;
   for (const Json& shard : shards) {
-    roots += static_cast<std::size_t>(shard.at("roots").as_int());
+    // v2 records the actual root ids, not just a count — the shape that
+    // lets a later run convert shard wall times back into per-root costs.
+    const Json::Array& ids = shard.at("roots").as_array();
+    EXPECT_FALSE(ids.empty());
+    for (const Json& id : ids) {
+      const std::size_t r = static_cast<std::size_t>(id.as_int());
+      ASSERT_LT(r, seen.size());
+      EXPECT_FALSE(seen[r]);  // no root in two shards
+      seen[r] = true;
+    }
+    roots += ids.size();
+    EXPECT_GE(shard.at("ms").as_double(), 0.0);
     total += shard.at("ms").as_double();
   }
   EXPECT_EQ(roots, job.dfg.node_count());  // shards partition the roots
   EXPECT_DOUBLE_EQ(doc->at("total_ms").as_double(), total);
+
+  // And the measured-cost loader round-trips it: one cost per node, all ≥ 1.
+  const engine::MeasuredCosts measured =
+      eng.cache().disk_store()->load_measured_root_costs(key, job.dfg.node_count());
+  ASSERT_TRUE(measured.ok());
+  ASSERT_EQ(measured.root_costs.size(), job.dfg.node_count());
+  for (const std::uint64_t c : measured.root_costs) EXPECT_GE(c, 1u);
 
   // Trimming the entry takes its sidecar with it.
   engine::TrimOptions trim;
   trim.max_total_bytes = 1;
   eng.cache().disk_store()->trim(trim);
   EXPECT_FALSE(fs::exists(sidecar));
+
+  fs::remove_all("engine_test.tmp");
+}
+
+TEST(Engine, MeasuredRepackFromWarmSidecarsIsByteIdentical) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path("engine_test.tmp") / "measured_repack";
+  fs::remove_all(dir);
+
+  std::vector<Job> jobs;
+  jobs.push_back(Job::from_workload("fir(12)"));
+  jobs.push_back(Job::from_workload("stencil5(3,3)"));
+
+  std::string cold;
+  {
+    EngineOptions options;
+    options.cache_dir = dir.string();
+    Engine eng(options);
+    const engine::BatchResult batch = eng.run_batch(jobs);
+    ASSERT_EQ(batch.succeeded(), jobs.size());
+    cold = batch_to_json(batch).dump();
+  }
+
+  // Evict the cache entries but keep the cost sidecars — the torn-cache
+  // shape measured packing exists for: the next engine must recompute,
+  // and a measured-capable policy packs its shards from the observed
+  // wall times instead of the estimate.
+  std::size_t evicted = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".mpa") {
+      fs::remove(e.path());
+      ++evicted;
+    }
+  ASSERT_EQ(evicted, 2u);
+
+  obs::Counter& measured_plans =
+      obs::Registry::global().counter("engine.shard_plan.measured");
+  const std::uint64_t before = measured_plans.value();
+  EngineOptions options;
+  options.cache_dir = dir.string();
+  options.shard_policy = ShardPolicy::Measured;
+  Engine eng(options);
+  const engine::BatchResult warm = eng.run_batch(jobs);
+  ASSERT_EQ(warm.succeeded(), jobs.size());
+  EXPECT_EQ(warm.analyses_computed, 2u);  // the entries really were evicted
+  // The hard invariant: measured packing only moves roots between shards,
+  // so the results are byte-identical to the estimate-packed cold run.
+  EXPECT_EQ(batch_to_json(warm).dump(), cold);
+  EXPECT_GE(measured_plans.value() - before, 2u);
+
+  // Adaptive self-upgrades from the same sidecars (entries evicted again).
+  for (const fs::directory_entry& e : fs::directory_iterator(dir))
+    if (e.path().extension() == ".mpa") fs::remove(e.path());
+  const std::uint64_t upgraded_before = measured_plans.value();
+  options.shard_policy = ShardPolicy::Adaptive;
+  Engine adaptive(options);
+  const engine::BatchResult again = adaptive.run_batch(jobs);
+  ASSERT_EQ(again.succeeded(), jobs.size());
+  EXPECT_EQ(batch_to_json(again).dump(), cold);
+  EXPECT_GE(measured_plans.value() - upgraded_before, 2u);
+
+  fs::remove_all("engine_test.tmp");
+}
+
+TEST(Engine, BadSidecarFallsBackToTheEstimate) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path("engine_test.tmp") / "bad_sidecar";
+  fs::remove_all(dir);
+
+  const Job job = Job::from_workload("fir(10)");
+  std::string cold;
+  {
+    EngineOptions options;
+    options.cache_dir = dir.string();
+    Engine eng(options);
+    const engine::BatchResult batch = eng.run_batch({job});
+    ASSERT_EQ(batch.succeeded(), 1u);
+    cold = batch_to_json(batch).dump();
+  }
+
+  // Evict the entry and replace the sidecar with a well-formed document
+  // whose node count does not match the graph — the "shard roots drifted"
+  // shape that must never steer packing.
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ".mpa") {
+      fs::remove(e.path());
+    } else {
+      std::ofstream out(e.path(), std::ios::trunc);
+      out << "{\"format\":\"" << engine::CacheStore::kCostSidecarFormat
+          << "\",\"key\":\"0123\",\"nodes\":1,"
+             "\"shards\":[{\"roots\":[0],\"ms\":1.0}],\"total_ms\":1.0}";
+    }
+  }
+
+  obs::Counter& fallback_plans =
+      obs::Registry::global().counter("engine.shard_plan.fallback");
+  const std::uint64_t before = fallback_plans.value();
+  EngineOptions options;
+  options.cache_dir = dir.string();
+  options.shard_policy = ShardPolicy::Measured;
+  Engine eng(options);
+  const engine::BatchResult warm = eng.run_batch({job});
+  ASSERT_EQ(warm.succeeded(), 1u);
+  EXPECT_EQ(warm.analyses_computed, 1u);
+  EXPECT_EQ(batch_to_json(warm).dump(), cold);  // fell back, results intact
+  EXPECT_GE(fallback_plans.value() - before, 1u);
 
   fs::remove_all("engine_test.tmp");
 }

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <map>
 #include <set>
 #include <string>
@@ -297,6 +298,35 @@ TEST_F(ObsTest, TracedMultiThreadedBatchExportsValidTraceAndIdenticalResults) {
   EXPECT_GT(metrics.at("counters").at("engine.dispatches").as_int(), 0);
   EXPECT_GT(metrics.at("histograms").at("engine.shard_ms").at("count").as_int(), 0);
   EXPECT_GT(metrics.at("histograms").at("queue.wait_ms").at("count").as_int(), 0);
+}
+
+TEST_F(ObsTest, ZeroWaitQueueSpansStayOrdered) {
+  // Regression for the queue.wait telemetry: the span start used to be
+  // reconstructed as flush_ns − waited_ms·1e6 through a double rounded to
+  // whole milliseconds, so a sub-µs wait could place the start *after*
+  // the flush and export an inverted span. The start now comes straight
+  // from the entry's enqueue timestamp (obs::trace_ns_of), clamped to the
+  // flush. Flush-on-idle lone submissions are the zero-wait extreme.
+  obs::set_tracing_enabled(true);
+  engine::Engine eng;
+  for (int i = 0; i < 8; ++i) {
+    const engine::BatchResult batch =
+        eng.run_batch({engine::Job::from_workload("small_example")});
+    ASSERT_EQ(batch.succeeded(), 1u);
+  }
+  // An inverted queue.wait span exports its E before its B, which the
+  // schema walk rejects (monotonic ts + strict per-track nesting).
+  const Json doc = obs::trace_to_json();
+  const std::set<std::string> names = valid_trace_names(doc);
+  EXPECT_TRUE(names.count("queue.wait"));
+
+  // trace_ns_of itself: a time point before the trace epoch clamps to 0
+  // instead of going negative, and now() measures as a sane, growing ns.
+  const auto now = std::chrono::steady_clock::now();
+  EXPECT_EQ(obs::trace_ns_of(now - std::chrono::hours(24 * 365)), 0);
+  const std::int64_t a = obs::trace_ns_of(now);
+  EXPECT_GE(a, 0);
+  EXPECT_LE(a, obs::trace_ns_of(std::chrono::steady_clock::now()));
 }
 
 }  // namespace

@@ -42,8 +42,9 @@ inline std::size_t size_flag(const std::string& flag, const std::string& value,
 inline engine::ShardPolicy shard_policy_from(const std::string& s) {
   if (s == "uniform") return engine::ShardPolicy::Uniform;
   if (s == "adaptive") return engine::ShardPolicy::Adaptive;
+  if (s == "measured") return engine::ShardPolicy::Measured;
   throw std::invalid_argument("unknown shard policy '" + s +
-                              "' (expected uniform or adaptive)");
+                              "' (expected uniform, adaptive, or measured)");
 }
 
 }  // namespace mpsched::cli

@@ -3,12 +3,12 @@
 // Loads a JSON scenario corpus (job list), executes it on the engine, and
 // writes a JSON results file. The results are deterministic: the same
 // corpus produces byte-identical output at any --threads value, cache on
-// or off (memory or disk), uniform or adaptive sharding.
+// or off (memory or disk), uniform, adaptive, or measured sharding.
 //
 // Usage:
 //   mpsched_batch --corpus FILE --out FILE [--threads N] [--no-cache]
 //                 [--cache-dir DIR] [--cache-stats] [--require-full-cache]
-//                 [--shard-policy uniform|adaptive] [--diagnostics]
+//                 [--shard-policy uniform|adaptive|measured] [--diagnostics]
 //                 [--compact]
 //   mpsched_batch --demo FILE        write the built-in 8-job demo corpus
 //   mpsched_batch --list             list accepted workload specs
@@ -50,7 +50,7 @@ int usage(const char* argv0) {
       "usage:\n"
       "  %s --corpus FILE --out FILE [--threads N] [--no-cache]\n"
       "     [--cache-dir DIR] [--cache-stats] [--require-full-cache]\n"
-      "     [--shard-policy uniform|adaptive] [--diagnostics] [--compact]\n"
+      "     [--shard-policy uniform|adaptive|measured] [--diagnostics] [--compact]\n"
       "     [--trace-out FILE]\n"
       "  %s --demo FILE\n"
       "  %s --list\n"
@@ -118,31 +118,33 @@ int selftest() {
   for (const std::size_t threads : {std::size_t{1}, std::size_t{2}}) {
     for (const bool use_cache : {true, false}) {
       for (const engine::ShardPolicy policy :
-           {engine::ShardPolicy::Uniform, engine::ShardPolicy::Adaptive}) {
+           {engine::ShardPolicy::Uniform, engine::ShardPolicy::Adaptive,
+            engine::ShardPolicy::Measured}) {
         engine::EngineOptions options;
         options.threads = threads;
         options.use_cache = use_cache;
         options.shard_policy = policy;
         engine::Engine eng(options);
         const engine::BatchResult batch = eng.run_batch(jobs);
-        const bool adaptive = policy == engine::ShardPolicy::Adaptive;
+        const int policy_id = static_cast<int>(policy);
         if (batch.succeeded() != batch.jobs.size()) {
-          std::printf("FAIL: %zu jobs failed (threads=%zu cache=%d adaptive=%d)\n",
-                      batch.jobs.size() - batch.succeeded(), threads, use_cache, adaptive);
+          std::printf("FAIL: %zu jobs failed (threads=%zu cache=%d policy=%d)\n",
+                      batch.jobs.size() - batch.succeeded(), threads, use_cache,
+                      policy_id);
           return 1;
         }
         const std::string out = batch_to_json(batch).dump(2);
         if (reference.empty()) reference = out;
         if (out != reference) {
-          std::printf("FAIL: results differ at threads=%zu cache=%d adaptive=%d\n",
-                      threads, use_cache, adaptive);
+          std::printf("FAIL: results differ at threads=%zu cache=%d policy=%d\n",
+                      threads, use_cache, policy_id);
           return 1;
         }
       }
     }
   }
   std::printf("determinism: identical results JSON across threads {1,2} x cache {on,off}"
-              " x shards {uniform,adaptive}\n");
+              " x shards {uniform,adaptive,measured}\n");
   std::printf("selftest passed\n");
   return 0;
 }

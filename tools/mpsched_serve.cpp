@@ -8,7 +8,7 @@
 //
 // Usage:
 //   mpsched_serve --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]
-//                 [--shard-policy uniform|adaptive] [--max-clients N]
+//                 [--shard-policy uniform|adaptive|measured] [--max-clients N]
 //                 [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]
 //                 [--daemonize] [--trace-out FILE]
 //   mpsched_serve --stdio [same engine flags]
@@ -61,8 +61,9 @@ int usage(const char* argv0) {
   std::printf(
       "usage:\n"
       "  %s --socket PATH [--threads N] [--no-cache] [--cache-dir DIR]\n"
-      "     [--shard-policy uniform|adaptive] [--max-clients N]\n"
+      "     [--shard-policy uniform|adaptive|measured] [--max-clients N]\n"
       "     [--coalesce-jobs N] [--coalesce-delay-ms MS] [--hold-queue]\n"
+      "     [--adaptive-delay]\n"
       "     [--daemonize] [--trace-out FILE]\n"
       "  %s --stdio [same engine flags]\n",
       argv0, argv0);
@@ -137,6 +138,7 @@ int main(int argc, char** argv) {
         coalesce.max_delay_ms = size_flag(arg, value(), 60000);
         coalesce_flags_given = true;
       } else if (arg == "--hold-queue") coalesce.flush_on_idle = false;
+      else if (arg == "--adaptive-delay") coalesce.adaptive_delay = true;
       else if (arg == "--daemonize") daemonize = true;
       else if (arg == "--trace-out") trace_out = value();
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
@@ -175,6 +177,12 @@ int main(int argc, char** argv) {
       std::printf("error: --coalesce-jobs/--coalesce-delay-ms require --hold-queue "
                   "(without it the queue never holds, so the knobs would be "
                   "silently inert)\n");
+      return 2;
+    }
+    if (coalesce.flush_on_idle && coalesce.adaptive_delay) {
+      std::printf("error: --adaptive-delay requires --hold-queue (without a hold "
+                  "window there is no delay to adapt; --coalesce-delay-ms sets "
+                  "the adaptive ceiling)\n");
       return 2;
     }
 
