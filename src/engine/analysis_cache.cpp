@@ -61,6 +61,16 @@ void feed_options(Fnv2& h, PatternGeneration generation, std::size_t max_size,
     h.feed_u64(span_limit ? static_cast<std::uint64_t>(*span_limit) + 1 : 0);
 }
 
+/// The empty tag (default pipeline) feeds NOTHING, not a zero length:
+/// default keys must stay byte-identical to pre-pipeline releases so warm
+/// disk caches carry over. Non-empty tags are length-delimited like every
+/// other variable-width field.
+void feed_pipeline_tag(Fnv2& h, const std::string& pipeline_tag) {
+  if (pipeline_tag.empty()) return;
+  h.feed_u64(pipeline_tag.size());
+  h.feed(pipeline_tag);
+}
+
 }  // namespace
 
 CacheKey AnalysisCache::graph_key(const Dfg& dfg) {
@@ -70,21 +80,25 @@ CacheKey AnalysisCache::graph_key(const Dfg& dfg) {
 }
 
 CacheKey AnalysisCache::analysis_key(const Dfg& dfg, PatternGeneration generation,
-                                     std::size_t max_size, std::optional<int> span_limit) {
+                                     std::size_t max_size, std::optional<int> span_limit,
+                                     const std::string& pipeline_tag) {
   Fnv2 h;
   feed_graph(h, dfg);
   feed_options(h, generation, max_size, span_limit);
+  feed_pipeline_tag(h, pipeline_tag);
   return h.key();
 }
 
 std::pair<CacheKey, CacheKey> AnalysisCache::content_keys(const Dfg& dfg,
                                                           PatternGeneration generation,
                                                           std::size_t max_size,
-                                                          std::optional<int> span_limit) {
+                                                          std::optional<int> span_limit,
+                                                          const std::string& pipeline_tag) {
   Fnv2 h;
   feed_graph(h, dfg);
   const CacheKey graph = h.key();
   feed_options(h, generation, max_size, span_limit);  // extends the same stream
+  feed_pipeline_tag(h, pipeline_tag);
   return {graph, h.key()};
 }
 

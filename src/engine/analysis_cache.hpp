@@ -84,8 +84,13 @@ class AnalysisCache {
   /// Only the options that influence the analysis participate:
   /// generation mode, capacity/max_size, span limit. collect_members is
   /// forced off for cached analyses, and `parallel` is an execution detail.
+  /// `pipeline_tag` (engine::pipeline_cache_tag) separates differently
+  /// configured pipelines over the same graph content; the empty tag feeds
+  /// nothing, so default-pipeline keys are byte-identical to pre-pipeline
+  /// releases and warm disk caches stay valid.
   static CacheKey analysis_key(const Dfg& dfg, PatternGeneration generation,
-                               std::size_t max_size, std::optional<int> span_limit);
+                               std::size_t max_size, std::optional<int> span_limit,
+                               const std::string& pipeline_tag = {});
 
   /// Both keys from ONE canonical serialization of the graph (the
   /// serialization dominates key cost; the batch engine needs both per
@@ -93,7 +98,8 @@ class AnalysisCache {
   static std::pair<CacheKey, CacheKey> content_keys(const Dfg& dfg,
                                                     PatternGeneration generation,
                                                     std::size_t max_size,
-                                                    std::optional<int> span_limit);
+                                                    std::optional<int> span_limit,
+                                                    const std::string& pipeline_tag = {});
 
   /// Memoized levels+closure; computes on miss.
   std::shared_ptr<const PreparedGraph> prepare_graph(const Dfg& dfg);

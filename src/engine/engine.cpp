@@ -8,6 +8,7 @@
 #include "antichain/analytic.hpp"
 #include "antichain/enumerate.hpp"
 #include "engine/cache_store.hpp"
+#include "graph/transform.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
@@ -243,17 +244,21 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   AnalysisCache& store = cache();
   const std::size_t worker_count = workers.thread_count() + 1;  // pool + caller
 
-  // ---- Phase 0: identify, prepare, deduplicate --------------------------
+  // ---- Phase 0: resolve pipeline, transform, identify, deduplicate ------
   std::vector<std::shared_ptr<const PreparedGraph>> prepared(n_jobs);
   std::vector<std::shared_ptr<const AntichainAnalysis>> analysis(n_jobs);
   std::vector<CacheKey> keys(n_jobs);
+  // Effective (post-transform) graph per job; every later phase — keys,
+  // levels/closure, enumeration, backend — consumes this, never Job::dfg.
+  std::vector<std::shared_ptr<const Dfg>> graphs(n_jobs);
+  std::vector<const SchedulerBackend*> backends(n_jobs, nullptr);
 
   for (std::size_t i = 0; i < n_jobs; ++i) {
     JobResult& r = batch.jobs[i];
     r.job = jobs[i].resolved_name();
     r.workload = jobs[i].workload;
-    r.nodes = jobs[i].dfg.node_count();
-    r.edges = jobs[i].dfg.edge_count();
+    r.backend = jobs[i].backend;
+    r.transforms = jobs[i].transforms;
   }
 
   // Levels + closure per job. With the cache on, jobs are grouped by graph
@@ -265,20 +270,46 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   // none of it runs.
   {
   obs::Span prepare_span("engine.prepare");
+  // Resolve each job's backend and transform stack, then run the
+  // transforms. Unknown names fail only that job. An empty stack aliases
+  // the caller's graph (no copy; `jobs` outlives the dispatch), so the
+  // default pipeline costs nothing here beyond the registry lookup.
+  workers.parallel_for(n_jobs, [&](std::size_t i) {
+    JobResult& r = batch.jobs[i];
+    Timer t;
+    try {
+      backends[i] = &get_backend(jobs[i].backend);
+      if (jobs[i].transforms.empty()) {
+        graphs[i] = std::shared_ptr<const Dfg>(std::shared_ptr<const Dfg>{},
+                                               &jobs[i].dfg);
+      } else {
+        const TransformPipeline pipe =
+            TransformPipeline::from_specs(jobs[i].transforms);
+        graphs[i] = std::make_shared<const Dfg>(pipe.apply(jobs[i].dfg));
+      }
+      r.nodes = graphs[i]->node_count();
+      r.edges = graphs[i]->edge_count();
+    } catch (const std::exception& e) {
+      r.error = std::string("pipeline: ") + e.what();
+    }
+    r.timings.prepare_ms = t.millis();
+  });
   if (options_.use_cache) {
     std::vector<CacheKey> graph_keys(n_jobs);
     workers.parallel_for(n_jobs, [&](std::size_t i) {
+      if (!batch.jobs[i].error.empty()) return;
       Timer t;
       try {
         const auto [graph_key, job_key] = AnalysisCache::content_keys(
-            jobs[i].dfg, jobs[i].select.generation, jobs[i].select.capacity,
-            jobs[i].select.span_limit);
+            *graphs[i], jobs[i].select.generation, jobs[i].select.capacity,
+            jobs[i].select.span_limit,
+            pipeline_cache_tag(jobs[i].transforms, jobs[i].backend));
         graph_keys[i] = graph_key;
         keys[i] = job_key;
       } catch (const std::exception& e) {
         batch.jobs[i].error = std::string("prepare: ") + e.what();
       }
-      batch.jobs[i].timings.prepare_ms = t.millis();
+      batch.jobs[i].timings.prepare_ms += t.millis();
     });
 
     std::unordered_map<CacheKey, std::vector<std::size_t>, CacheKeyHash> by_graph;
@@ -295,7 +326,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
       std::shared_ptr<const PreparedGraph> graph;
       std::string error;
       try {
-        graph = store.prepare_graph(jobs[exemplar].dfg, graph_keys[exemplar]);
+        graph = store.prepare_graph(*graphs[exemplar], graph_keys[exemplar]);
       } catch (const std::exception& e) {
         error = std::string("prepare: ") + e.what();
       }
@@ -310,25 +341,29 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     });
   } else {
     workers.parallel_for(n_jobs, [&](std::size_t i) {
+      if (!batch.jobs[i].error.empty()) return;
       Timer t;
       try {
         prepared[i] = std::make_shared<PreparedGraph>(
-            PreparedGraph{compute_levels(jobs[i].dfg), Reachability(jobs[i].dfg)});
+            PreparedGraph{compute_levels(*graphs[i]), Reachability(*graphs[i])});
       } catch (const std::exception& e) {
         batch.jobs[i].error = std::string("prepare: ") + e.what();
       }
-      batch.jobs[i].timings.prepare_ms = t.millis();
+      batch.jobs[i].timings.prepare_ms += t.millis();
     });
   }
   }
 
   // Group jobs into analysis units. With the cache off, every job is its
-  // own unit — no memoization, no intra-batch sharing.
+  // own unit — no memoization, no intra-batch sharing. Jobs whose backend
+  // composes its own patterns (needs_analysis() == false) skip enumeration
+  // entirely: no unit, no cache traffic, analysis_source stays None.
   std::vector<AnalysisUnit> units;
   if (options_.use_cache) {
     std::unordered_map<CacheKey, std::size_t, CacheKeyHash> unit_of;
     for (std::size_t i = 0; i < n_jobs; ++i) {
       if (!batch.jobs[i].error.empty()) continue;
+      if (!backends[i]->needs_analysis()) continue;
       if (auto hit = store.find_analysis(keys[i])) {
         analysis[i] = std::move(hit);
         batch.jobs[i].analysis_cache_hit = true;
@@ -351,6 +386,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   } else {
     for (std::size_t i = 0; i < n_jobs; ++i) {
       if (!batch.jobs[i].error.empty()) continue;
+      if (!backends[i]->needs_analysis()) continue;
       AnalysisUnit unit;
       unit.key = keys[i];
       unit.exemplar_job = i;
@@ -370,6 +406,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
   for (std::size_t u = 0; u < units.size(); ++u) {
     AnalysisUnit& unit = units[u];
     const Job& job = jobs[unit.exemplar_job];
+    const Dfg& unit_dfg = *graphs[unit.exemplar_job];
     if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
       const std::size_t target_shards = worker_count * options_.shards_per_thread;
       bool planned = false;
@@ -388,7 +425,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
         const CacheStore* disk = store.disk_store();
         MeasuredCosts measured;
         if (disk != nullptr)
-          measured = disk->load_measured_root_costs(unit.key, job.dfg.node_count());
+          measured = disk->load_measured_root_costs(unit.key, unit_dfg.node_count());
         if (measured.ok()) {
           unit.shard_roots = pack_roots_by_cost(measured.root_costs, target_shards);
           planned = true;
@@ -414,7 +451,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
           EnumerateOptions estimate_options = enumerate_options_for(job.select);
           estimate_options.parallel = true;
           unit.shard_roots = pack_roots_by_cost(
-              estimate_root_costs(job.dfg, graph.levels, graph.reach, estimate_options),
+              estimate_root_costs(unit_dfg, graph.levels, graph.reach, estimate_options),
               target_shards);
           planned = true;
         } catch (const std::exception&) {
@@ -422,7 +459,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
         }
       }
       if (!planned)
-        unit.shard_roots = partition_roots(job.dfg.node_count(), target_shards);
+        unit.shard_roots = partition_roots(unit_dfg.node_count(), target_shards);
     } else {
       unit.shard_roots.resize(1);  // closed-form counting: one cheap task
     }
@@ -439,6 +476,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     AnalysisUnit& unit = units[tasks[t].unit];
     const std::size_t s = tasks[t].shard;
     const Job& job = jobs[unit.exemplar_job];
+    const Dfg& unit_dfg = *graphs[unit.exemplar_job];
     const PreparedGraph& graph = *prepared[unit.exemplar_job];
     obs::Span enumerate_span("engine.enumerate",
                              obs::tracing_enabled()
@@ -448,12 +486,12 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     try {
       if (job.select.generation == PatternGeneration::SpanLimitedEnumeration) {
         unit.shard_results[s] =
-            enumerate_antichain_roots(job.dfg, graph.levels, graph.reach,
+            enumerate_antichain_roots(unit_dfg, graph.levels, graph.reach,
                                       enumerate_options_for(job.select),
                                       unit.shard_roots[s], unit.enumerated.get());
       } else {
         unit.shard_results[s] =
-            analytic_level_analysis(job.dfg, graph.levels, job.select.capacity);
+            analytic_level_analysis(unit_dfg, graph.levels, job.select.capacity);
       }
     } catch (const std::exception& e) {
       unit.shard_errors[s] = e.what();
@@ -475,11 +513,12 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     for (const double ms : unit.shard_ms) unit.total_ms += ms;
     if (!unit.error.empty()) return;
     const Job& job = jobs[unit.exemplar_job];
+    const Dfg& unit_dfg = *graphs[unit.exemplar_job];
     unit.result = std::make_shared<AntichainAnalysis>(
         unit.shard_results.size() == 1
             ? std::move(unit.shard_results.front())
             : merge_antichain_analyses(std::move(unit.shard_results),
-                                       job.dfg.node_count()));
+                                       unit_dfg.node_count()));
     if (options_.use_cache) {
       store.store_analysis(unit.key, unit.result);
       // Measured per-shard wall times ride along as a sidecar next to the
@@ -491,7 +530,7 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
         cost.set("format", Json(CacheStore::kCostSidecarFormat));
         cost.set("key", Json(unit.key.to_string()));
         cost.set("workload", Json(job.workload));
-        cost.set("nodes", Json(job.dfg.node_count()));
+        cost.set("nodes", Json(unit_dfg.node_count()));
         Json shards = Json::array();
         for (std::size_t s = 0; s < unit.shard_roots.size(); ++s) {
           Json shard = Json::object();
@@ -524,54 +563,42 @@ BatchResult Engine::execute_batch(const std::vector<Job>& jobs) {
     }
   }
 
-  // ---- Phase 2: select + schedule + refine, one task per job ------------
+  // ---- Phase 2: scheduler backend, one task per job ---------------------
   workers.parallel_for(n_jobs, [&](std::size_t i) {
     JobResult& r = batch.jobs[i];
     if (!r.error.empty()) return;  // earlier phase already failed this job
     const Job& job = jobs[i];
+    const Dfg& dfg = *graphs[i];
     try {
       r.critical_path = prepared[i]->levels.critical_path_length();
 
-      Timer t;
-      const SelectionResult selection = [&] {
-        obs::Span span("engine.select", obs::tracing_enabled() ? job.workload
-                                                               : std::string());
-        return select_patterns(job.dfg, *analysis[i], job.select);
-      }();
-      r.timings.select_ms = t.millis();
-      r.antichains = selection.antichains_enumerated;
-      r.candidate_patterns = selection.candidate_patterns;
+      BackendRequest request;
+      request.dfg = &dfg;
+      request.analysis = analysis[i].get();  // null for self-contained backends
+      request.select = job.select;
+      request.schedule = job.schedule;
+      request.refine = job.refine;
+      request.refinement = job.refinement;
+      request.trace_detail = job.workload;
+      BackendResult out = backends[i]->solve(request);
 
-      PatternSet patterns = selection.patterns;
-      if (job.refine) {
-        t.reset();
-        RefineOptions refinement = job.refinement;
-        refinement.schedule = job.schedule;
-        const RefineResult refined =
-            refine_pattern_set(job.dfg, *analysis[i], patterns, refinement);
-        r.timings.refine_ms = t.millis();
-        r.refine_swaps = refined.swaps_accepted;
-        patterns = refined.patterns;
-      }
-
-      t.reset();
-      const MpScheduleResult scheduled = [&] {
-        obs::Span span("engine.schedule", obs::tracing_enabled() ? job.workload
-                                                                 : std::string());
-        return multi_pattern_schedule(job.dfg, patterns, job.schedule);
-      }();
-      r.timings.schedule_ms = t.millis();
-      if (!scheduled.success) {
-        r.error = "schedule: " + scheduled.error;
+      r.timings.select_ms = out.select_ms;
+      r.timings.schedule_ms = out.schedule_ms;
+      r.timings.refine_ms = out.refine_ms;
+      r.antichains = out.antichains;
+      r.candidate_patterns = out.candidate_patterns;
+      r.refine_swaps = out.refine_swaps;
+      if (!out.success) {
+        r.error = out.error;
         return;
       }
 
       r.success = true;
-      r.cycles = scheduled.cycles;
-      for (const Pattern& p : patterns) r.patterns.push_back(p.to_string(job.dfg));
-      r.node_cycles.resize(job.dfg.node_count());
-      for (NodeId n = 0; n < job.dfg.node_count(); ++n)
-        r.node_cycles[n] = scheduled.schedule.cycle_of(n);
+      r.cycles = out.cycles;
+      for (const Pattern& p : out.patterns) r.patterns.push_back(p.to_string(dfg));
+      r.node_cycles.resize(dfg.node_count());
+      for (NodeId n = 0; n < dfg.node_count(); ++n)
+        r.node_cycles[n] = out.schedule.cycle_of(n);
     } catch (const std::exception& e) {
       r.success = false;
       r.error = e.what();

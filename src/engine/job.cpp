@@ -18,4 +18,17 @@ Job Job::from_workload(const std::string& spec) {
   return job;
 }
 
+std::string pipeline_cache_tag(const std::vector<std::string>& transforms,
+                               const std::string& backend) {
+  if (transforms.empty() && backend == kDefaultBackend) return {};
+  std::string tag;
+  for (const std::string& t : transforms) {
+    if (!tag.empty()) tag += ',';
+    tag += t;
+  }
+  tag += '|';
+  tag += backend;
+  return tag;
+}
+
 }  // namespace mpsched::engine

@@ -18,6 +18,7 @@
 #include "core/refine.hpp"
 #include "core/select.hpp"
 #include "graph/dfg.hpp"
+#include "sched/backend.hpp"
 
 namespace mpsched::engine {
 
@@ -28,6 +29,12 @@ struct Job {
   /// graphs supplied directly. Carried through to results and corpus files.
   std::string workload;
   Dfg dfg;
+  /// Transform pipeline (graph/transform.hpp) applied to `dfg` in the
+  /// engine's prepare phase, in order. Empty = run the graph as-is.
+  std::vector<std::string> transforms;
+  /// Scheduler backend (sched/backend.hpp) that turns the transformed
+  /// graph into a schedule. The default reproduces the paper flow.
+  std::string backend = std::string(kDefaultBackend);
   SelectOptions select{};
   MpScheduleOptions schedule{};
   bool refine = false;
@@ -41,6 +48,13 @@ struct Job {
   /// Builds a job from a workload spec (name defaults to the spec).
   static Job from_workload(const std::string& spec);
 };
+
+/// Canonical cache-key tag of a job's pipeline configuration: empty for
+/// the default pipeline (no transforms, default backend) so default cache
+/// keys — and warm disk-cache tiers — stay byte-compatible with
+/// pre-pipeline releases, "t1,t2|backend" otherwise.
+std::string pipeline_cache_tag(const std::vector<std::string>& transforms,
+                               const std::string& backend);
 
 /// Wall-clock milliseconds per pipeline phase. `analysis_ms` is summed
 /// over the job's enumeration shards, so it reads as CPU-ms when the job
@@ -63,7 +77,9 @@ struct PhaseTimings {
 /// Diagnostic attribution of a job's antichain analysis within its
 /// dispatch: Computed for the one job that ran (or would have run) the
 /// analysis fresh, Reused for cache hits and intra-dispatch duplicates,
-/// None when the job failed before the analysis phase. Summing these over
+/// None when the job failed before the analysis phase or its backend
+/// composes its own patterns (needs_analysis() == false, so no analysis
+/// ever ran for it). Summing these over
 /// any set of JobResults reproduces the batch-level analyses_computed /
 /// analyses_reused counters — which is how the synchronous run_batch()
 /// wrapper and the service layer account per-request work when requests
@@ -73,6 +89,11 @@ enum class AnalysisSource { None, Computed, Reused };
 struct JobResult {
   std::string job;       ///< Job::resolved_name()
   std::string workload;  ///< Job::workload (may be empty)
+  std::string backend;   ///< Job::backend echo
+  std::vector<std::string> transforms;  ///< Job::transforms echo
+  /// Node/edge counts of the *effective* graph the backend scheduled
+  /// (after the transform pipeline; identical to the input graph for the
+  /// default pipeline).
   std::size_t nodes = 0;
   std::size_t edges = 0;
 

@@ -15,6 +15,8 @@ JobResult cancelled_result(const Job& job) {
   JobResult r;
   r.job = job.resolved_name();
   r.workload = job.workload;
+  r.backend = job.backend;
+  r.transforms = job.transforms;
   r.nodes = job.dfg.node_count();
   r.edges = job.dfg.edge_count();
   r.success = false;

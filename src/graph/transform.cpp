@@ -1,0 +1,149 @@
+#include "graph/transform.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/closure.hpp"
+#include "util/bitset.hpp"
+
+namespace mpsched {
+
+namespace {
+
+/// Copies the node set of `dfg` (colors interned in original ColorId
+/// order, nodes re-added with their original names) into a fresh graph,
+/// leaving the edge set empty.
+Dfg copy_nodes(const Dfg& dfg) {
+  Dfg out(dfg.name());
+  for (ColorId c = 0; c < dfg.color_count(); ++c) {
+    out.intern_color(dfg.color_name(c));
+  }
+  for (NodeId n = 0; n < dfg.node_count(); ++n) {
+    out.add_node(dfg.color(n), dfg.node_name(n));
+  }
+  return out;
+}
+
+class IdentityTransform final : public DfgTransform {
+ public:
+  const std::string& name() const noexcept override {
+    static const std::string kName = "identity";
+    return kName;
+  }
+  const std::string& description() const noexcept override {
+    static const std::string kDesc = "no-op pass (copies the graph unchanged)";
+    return kDesc;
+  }
+  Dfg apply(const Dfg& dfg) const override {
+    Dfg out = copy_nodes(dfg);
+    for (NodeId u = 0; u < dfg.node_count(); ++u) {
+      for (NodeId v : dfg.succs(u)) out.add_edge(u, v);
+    }
+    return out;
+  }
+};
+
+class StripRedundantEdges final : public DfgTransform {
+ public:
+  const std::string& name() const noexcept override {
+    static const std::string kName = "strip_redundant_edges";
+    return kName;
+  }
+  const std::string& description() const noexcept override {
+    static const std::string kDesc =
+        "transitive reduction: drop edges implied by another path";
+    return kDesc;
+  }
+  Dfg apply(const Dfg& dfg) const override {
+    return strip_redundant_edges(dfg);
+  }
+};
+
+const std::vector<const DfgTransform*>& registry() {
+  static const IdentityTransform identity;
+  static const StripRedundantEdges strip;
+  static const std::vector<const DfgTransform*> entries = {&identity, &strip};
+  return entries;
+}
+
+}  // namespace
+
+const DfgTransform* find_transform(std::string_view name) {
+  for (const DfgTransform* t : registry()) {
+    if (t->name() == name) return t;
+  }
+  return nullptr;
+}
+
+const DfgTransform& get_transform(std::string_view name) {
+  const DfgTransform* t = find_transform(name);
+  if (t == nullptr) {
+    throw std::invalid_argument("unknown transform '" + std::string(name) +
+                                "' (known: " + [] {
+                                  std::string s;
+                                  for (const DfgTransform* t : registry()) {
+                                    if (!s.empty()) s += ", ";
+                                    s += t->name();
+                                  }
+                                  return s;
+                                }() + ")");
+  }
+  return *t;
+}
+
+std::vector<std::string> transform_names() {
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const DfgTransform* t : registry()) names.push_back(t->name());
+  return names;
+}
+
+Dfg strip_redundant_edges(const Dfg& dfg) {
+  // An edge u→v is redundant iff some path u → w ⤳ v exists with w ≠ v,
+  // i.e. iff v lies in the union of the followers of u's successors (the
+  // union over w = v contributes nothing: a DAG node never follows
+  // itself). For DAGs this reduction is unique and removing all redundant
+  // edges at once preserves reachability.
+  Reachability reach(dfg);  // throws on cyclic graphs
+  Dfg out = copy_nodes(dfg);
+  const std::size_t n = dfg.node_count();
+  DynamicBitset reachable_via_two_hops(n);
+  for (NodeId u = 0; u < n; ++u) {
+    if (dfg.succs(u).size() < 2) {
+      // A single out-edge can never be implied by a sibling path.
+      for (NodeId v : dfg.succs(u)) out.add_edge(u, v);
+      continue;
+    }
+    reachable_via_two_hops.clear();
+    for (NodeId w : dfg.succs(u)) reachable_via_two_hops |= reach.followers(w);
+    for (NodeId v : dfg.succs(u)) {
+      if (!reachable_via_two_hops.test(v)) out.add_edge(u, v);
+    }
+  }
+  return out;
+}
+
+TransformPipeline TransformPipeline::from_specs(
+    const std::vector<std::string>& names) {
+  TransformPipeline pipe;
+  for (const std::string& name : names) pipe.push_back(get_transform(name));
+  return pipe;
+}
+
+Dfg TransformPipeline::apply(const Dfg& dfg) const {
+  if (stages_.empty()) return dfg;
+  Dfg current = stages_.front()->apply(dfg);
+  for (std::size_t i = 1; i < stages_.size(); ++i) {
+    current = stages_[i]->apply(current);
+  }
+  return current;
+}
+
+std::vector<std::string> TransformPipeline::names() const {
+  std::vector<std::string> out;
+  out.reserve(stages_.size());
+  for (const DfgTransform* t : stages_) out.push_back(t->name());
+  return out;
+}
+
+}  // namespace mpsched

@@ -1,0 +1,79 @@
+// Composable DFG pre-passes (pasched-style transformation pipeline).
+//
+// A DfgTransform rewrites a graph before pattern selection/scheduling.
+// Every transform must preserve the *node* set exactly — same ids, colors,
+// and names in the same insertion order — and may only rewrite the edge set
+// in ways that preserve the precedence relation (the transitive closure).
+// That contract keeps node-indexed outputs (per-node cycles, patterns)
+// meaningful on the original graph, so a transformed job's schedule is
+// still a schedule of the job the user submitted.
+//
+// Transforms are registered under string keys so jobs, corpus JSON, and
+// CLI flags can name them; `TransformPipeline` composes an ordered stack.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dfg.hpp"
+
+namespace mpsched {
+
+class DfgTransform {
+ public:
+  virtual ~DfgTransform() = default;
+
+  /// Registry key (stable; serialized in corpus/results JSON).
+  virtual const std::string& name() const noexcept = 0;
+
+  /// One-line human description for --list-transforms.
+  virtual const std::string& description() const noexcept = 0;
+
+  /// Rewrites `dfg` into a new graph. Must keep the node set (ids, colors,
+  /// names) identical and the precedence relation equivalent.
+  virtual Dfg apply(const Dfg& dfg) const = 0;
+};
+
+/// Looks a transform up by name; nullptr when unknown.
+const DfgTransform* find_transform(std::string_view name);
+
+/// Like find_transform but throws std::invalid_argument on unknown names.
+const DfgTransform& get_transform(std::string_view name);
+
+/// Names of all registered transforms, in registration order.
+std::vector<std::string> transform_names();
+
+/// Transitive reduction of the precedence edges: drops every edge u→v for
+/// which another path u ⤳ v exists. Unique for DAGs; reachability (and
+/// therefore every antichain and every valid schedule) is unchanged.
+/// Exposed directly for tests; jobs reach it via the "strip_redundant_edges"
+/// registry entry.
+Dfg strip_redundant_edges(const Dfg& dfg);
+
+/// An ordered stack of transforms applied left to right.
+class TransformPipeline {
+ public:
+  TransformPipeline() = default;
+
+  /// Resolves each name against the registry; throws std::invalid_argument
+  /// listing the offending name when one is unknown.
+  static TransformPipeline from_specs(const std::vector<std::string>& names);
+
+  void push_back(const DfgTransform& t) { stages_.push_back(&t); }
+
+  bool empty() const noexcept { return stages_.empty(); }
+  std::size_t size() const noexcept { return stages_.size(); }
+
+  /// Runs every stage in order. The identity pipeline returns a copy.
+  Dfg apply(const Dfg& dfg) const;
+
+  /// Stage names in application order.
+  std::vector<std::string> names() const;
+
+ private:
+  std::vector<const DfgTransform*> stages_;
+};
+
+}  // namespace mpsched

@@ -2,7 +2,9 @@
 
 #include <stdexcept>
 
+#include "graph/transform.hpp"
 #include "io/dfg_io.hpp"
+#include "sched/backend.hpp"
 #include "workloads/corpus.hpp"
 
 namespace mpsched {
@@ -108,6 +110,12 @@ Json job_to_json(const Job& job) {
     j.set("dfg", dfg_to_text(job.dfg));
   j.set("select", select_to_json(job.select));
   j.set("schedule", schedule_to_json(job.schedule));
+  // Pipeline spec, always explicit (like select/schedule): the stack as a
+  // string array, the backend by registry key.
+  Json transforms = Json::array();
+  for (const std::string& t : job.transforms) transforms.push_back(t);
+  j.set("transforms", std::move(transforms));
+  j.set("backend", job.backend);
   j.set("refine", job.refine);
   if (job.refine) {
     Json r = Json::object();
@@ -166,8 +174,10 @@ Job job_from_json(const Json& j, std::size_t index) {
   const std::string where =
       "job #" + std::to_string(index) +
       (j.find("name") != nullptr ? " ('" + j.at("name").as_string() + "')" : "");
-  reject_unknown_keys(
-      j, {"name", "workload", "dfg", "select", "schedule", "refine", "refinement"}, where);
+  reject_unknown_keys(j,
+                      {"name", "workload", "dfg", "select", "schedule", "transforms",
+                       "backend", "refine", "refinement"},
+                      where);
 
   Job job;
   if (const Json* v = j.find("name")) job.name = v->as_string();
@@ -185,6 +195,21 @@ Job job_from_json(const Json& j, std::size_t index) {
 
   if (const Json* v = j.find("select")) job.select = select_from_json(*v, where);
   if (const Json* v = j.find("schedule")) job.schedule = schedule_from_json(*v, where);
+  if (const Json* v = j.find("transforms")) {
+    // Validate against the registry at parse time: a corpus naming an
+    // unknown pass should fail loudly here, not per-job at run time.
+    for (const Json& t : v->as_array()) {
+      const std::string name = t.as_string();
+      if (find_transform(name) == nullptr)
+        throw std::invalid_argument(where + ": unknown transform '" + name + "'");
+      job.transforms.push_back(name);
+    }
+  }
+  if (const Json* v = j.find("backend")) {
+    job.backend = v->as_string();
+    if (find_backend(job.backend) == nullptr)
+      throw std::invalid_argument(where + ": unknown backend '" + job.backend + "'");
+  }
   if (const Json* v = j.find("refine")) job.refine = v->as_bool();
   if (const Json* v = j.find("refinement")) {
     // A refinement block on an unrefined job would be parsed and then
@@ -204,6 +229,14 @@ Json result_to_json(const JobResult& r, bool include_diagnostics) {
   Json j = Json::object();
   j.set("job", r.job);
   j.set("workload", r.workload);
+  // Pipeline echo, only when non-default: default-pipeline results files
+  // stay byte-identical to pre-pipeline releases (a gated property).
+  if (!r.backend.empty() && r.backend != kDefaultBackend) j.set("backend", r.backend);
+  if (!r.transforms.empty()) {
+    Json transforms = Json::array();
+    for (const std::string& t : r.transforms) transforms.push_back(t);
+    j.set("transforms", std::move(transforms));
+  }
   j.set("nodes", r.nodes);
   j.set("edges", r.edges);
   j.set("success", r.success);

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "util/strings.hpp"
+#include "workloads/dft.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/paper_graphs.hpp"
 #include "workloads/random_dag.hpp"
@@ -48,6 +49,22 @@ Dfg build(const ParsedSpec& p) {
   if (p.name == "small_example") {
     require_args(p, 0, "no arguments");
     return small_example();
+  }
+  if (p.name == "dft3") {
+    require_args(p, 0, "no arguments");
+    return winograd_dft3();
+  }
+  if (p.name == "dft5") {
+    require_args(p, 0, "no arguments");
+    return winograd_dft5();
+  }
+  if (p.name == "fft") {
+    require_args(p, 1, "(n)");
+    return radix2_fft(p.args[0]);
+  }
+  if (p.name == "direct_dft") {
+    require_args(p, 1, "(n)");
+    return direct_dft(p.args[0]);
   }
   if (p.name == "fir") {
     require_args(p, 1, "(taps)");
@@ -113,10 +130,12 @@ bool is_valid_workload(const std::string& spec) {
 
 std::vector<std::string> workload_usage() {
   return {
-      "paper_3dft",       "small_example",     "fir(taps)",
-      "iir(sections)",    "matmul(n)",         "dct8",
-      "horner(degree)",   "bitonic(n)",        "stencil5(width,height)",
-      "layered(seed)",    "series_parallel(seed)", "expr_tree(seed)",
+      "paper_3dft",       "small_example",     "dft3",
+      "dft5",             "fft(n)",            "direct_dft(n)",
+      "fir(taps)",        "iir(sections)",     "matmul(n)",
+      "dct8",             "horner(degree)",    "bitonic(n)",
+      "stencil5(width,height)", "layered(seed)", "series_parallel(seed)",
+      "expr_tree(seed)",
   };
 }
 
@@ -131,6 +150,51 @@ std::vector<std::string> demo_corpus_specs() {
       "fir(28)", "paper_3dft", "bitonic(8)", "fir(28)",
       "dct8",    "layered(42)", "fir(28)",   "paper_3dft",
   };
+}
+
+const std::vector<CorpusGroup>& corpus_groups() {
+  // Sized for the tournament harness: every group stays small enough that
+  // the exhaustive backend — C(21, Pdef) scheduler runs per graph — is
+  // feasible on every member, including under ASan in CI.
+  static const std::vector<CorpusGroup> groups = {
+      {"paper",
+       "the paper's graphs: Fig. 2 3-point DFT, Fig. 4 example, Winograd DFTs",
+       {"paper_3dft", "small_example", "dft3", "dft5"}},
+      {"dft",
+       "scalable DFT family: radix-2 FFTs and direct DFTs",
+       {"fft(4)", "fft(8)", "direct_dft(3)", "direct_dft(4)"}},
+      {"kernels",
+       "compiler-flow DSP kernels: filters, transforms, reductions",
+       {"fir(12)", "iir(3)", "matmul(3)", "dct8", "horner(10)", "bitonic(8)",
+        "stencil5(3,3)"}},
+      {"random",
+       "seeded DAG families: layered, series-parallel, expression trees",
+       {"layered(7)", "layered(21)", "series_parallel(11)",
+        "series_parallel(12)", "expr_tree(5)", "expr_tree(9)"}},
+      {"smoke",
+       "small cross-section for CI smoke runs",
+       {"small_example", "dft3", "fir(8)", "layered(7)", "expr_tree(5)"}},
+  };
+  return groups;
+}
+
+std::vector<std::string> corpus_group_names() {
+  std::vector<std::string> names;
+  names.reserve(corpus_groups().size());
+  for (const CorpusGroup& g : corpus_groups()) names.push_back(g.name);
+  return names;
+}
+
+const CorpusGroup& corpus_group(const std::string& name) {
+  for (const CorpusGroup& g : corpus_groups())
+    if (g.name == name) return g;
+  std::string known;
+  for (const CorpusGroup& g : corpus_groups()) {
+    if (!known.empty()) known += ", ";
+    known += g.name;
+  }
+  throw std::invalid_argument("unknown corpus group '" + name +
+                              "' (known: " + known + ")");
 }
 
 }  // namespace mpsched::workloads

@@ -5,6 +5,10 @@
 // Grammar:  name  |  name(arg1,arg2,...)   with non-negative integer args.
 //   paper_3dft            the reconstructed Fig. 2 graph (24 nodes)
 //   small_example         the Fig. 4 running example (5 nodes)
+//   dft3                  Winograd 3-point DFT
+//   dft5                  Winograd 5-point DFT
+//   fft(n)                radix-2 FFT (n a power of two)
+//   direct_dft(n)         direct (naive) n-point DFT
 //   fir(taps)             FIR filter
 //   iir(sections)         biquad IIR cascade
 //   matmul(n)             dense n×n matrix multiply
@@ -43,5 +47,22 @@ std::vector<std::string> workload_usage();
 /// practice: the paper graphs appear in a dozen harnesses) so the analysis
 /// cache has something to hit.
 std::vector<std::string> demo_corpus_specs();
+
+/// A named, curated set of workload specs — the registry the tournament
+/// harness sweeps. Groups are deterministic and every spec instantiates.
+struct CorpusGroup {
+  std::string name;
+  std::string description;
+  std::vector<std::string> specs;
+};
+
+/// All registered groups, in registration order.
+const std::vector<CorpusGroup>& corpus_groups();
+
+/// Group names, in registration order.
+std::vector<std::string> corpus_group_names();
+
+/// Looks a group up by name; throws std::invalid_argument when unknown.
+const CorpusGroup& corpus_group(const std::string& name);
 
 }  // namespace mpsched::workloads

@@ -1,0 +1,302 @@
+// Scheduler-backend registry (sched/backend.hpp) contracts:
+//  * the registry resolves the four backends and rejects unknown names;
+//  * every backend x transform stack produces schedules satisfying the §4
+//    invariants over the paper graphs and a seeded random corpus, both
+//    driven directly and end-to-end through the engine (the cross-
+//    validation gate of the pipeline refactor);
+//  * the multi_pattern backend is the paper flow verbatim — identical
+//    patterns, cycles, and per-node placement to the hand-wired
+//    select_patterns + multi_pattern_schedule calls, and a default-pipeline
+//    engine result serializes without any backend/transforms keys (the
+//    pre-refactor document shape);
+//  * backends that compose their own patterns reject refinement cleanly;
+//  * the exhaustive oracle is never worse than the §5.2 heuristic;
+//  * pipeline_cache_tag separates every non-default configuration while
+//    the default tag keeps legacy cache-key bytes (pinned).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "antichain/enumerate.hpp"
+#include "engine/analysis_cache.hpp"
+#include "engine/engine.hpp"
+#include "engine/job.hpp"
+#include "graph/transform.hpp"
+#include "io/result_io.hpp"
+#include "pattern/parse.hpp"
+#include "sched/backend.hpp"
+#include "test_util.hpp"
+#include "workloads/corpus.hpp"
+
+namespace mpsched {
+namespace {
+
+constexpr std::size_t kCapacity = 5;
+
+/// The §4 invariants of schedule_invariants_test, phrased over a backend
+/// result: completeness, strict precedence, capacity, and per-cycle
+/// pattern fit.
+void check_section4_invariants(const Dfg& g, const Schedule& s,
+                               const PatternSet& patterns) {
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    ASSERT_TRUE(s.is_scheduled(n)) << "node " << n << " left unscheduled";
+  for (NodeId n = 0; n < g.node_count(); ++n)
+    for (const NodeId p : g.preds(n))
+      EXPECT_LT(s.cycle_of(p), s.cycle_of(n))
+          << "node " << n << " runs no later than predecessor " << p;
+  for (const auto& cycle_nodes : s.cycles())
+    EXPECT_LE(cycle_nodes.size(), kCapacity) << "cycle exceeds capacity C";
+  const ScheduleValidation v = validate_schedule(g, s, patterns);
+  EXPECT_TRUE(v.ok) << v.summary();
+}
+
+/// The analysis the engine would hand a needs_analysis() backend for this
+/// request (enumeration under the request's own generation options).
+AntichainAnalysis analysis_for(const Dfg& dfg, const SelectOptions& select) {
+  EnumerateOptions eo;
+  eo.max_size = select.capacity;
+  eo.span_limit = select.span_limit;
+  eo.parallel = false;
+  return enumerate_antichains(dfg, eo);
+}
+
+BackendResult solve(const std::string& backend_name, const Dfg& dfg,
+                    bool refine = false) {
+  const SchedulerBackend& backend = get_backend(backend_name);
+  BackendRequest request;
+  request.dfg = &dfg;
+  request.refine = refine;
+  AntichainAnalysis analysis;
+  if (backend.needs_analysis()) {
+    analysis = analysis_for(dfg, request.select);
+    request.analysis = &analysis;
+  }
+  return backend.solve(request);
+}
+
+// ---------------------------------------------------------------------------
+// registry
+// ---------------------------------------------------------------------------
+
+TEST(BackendRegistry, ResolvesKnownNamesAndRejectsUnknown) {
+  EXPECT_EQ(backend_names(), (std::vector<std::string>{
+                                 "multi_pattern", "list", "force_directed",
+                                 "exhaustive"}));
+  for (const std::string& name : backend_names()) {
+    const SchedulerBackend* b = find_backend(name);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->name(), name);
+    EXPECT_FALSE(b->description().empty());
+    EXPECT_EQ(&get_backend(name), b);
+  }
+  EXPECT_EQ(find_backend("bogus"), nullptr);
+  EXPECT_THROW(get_backend("bogus"), std::invalid_argument);
+  EXPECT_EQ(std::string(kDefaultBackend), "multi_pattern");
+  EXPECT_TRUE(get_backend(kDefaultBackend).needs_analysis());
+}
+
+TEST(BackendRegistry, OnlyThePaperFlowConsumesTheAnalysis) {
+  EXPECT_TRUE(get_backend("multi_pattern").needs_analysis());
+  EXPECT_FALSE(get_backend("list").needs_analysis());
+  EXPECT_FALSE(get_backend("force_directed").needs_analysis());
+  EXPECT_FALSE(get_backend("exhaustive").needs_analysis());
+}
+
+// ---------------------------------------------------------------------------
+// cross-validation: every backend x transform stack, direct and via engine
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string>& corpus() {
+  static const std::vector<std::string> specs = {
+      "paper_3dft", "small_example", "dft3", "fir(8)", "layered(7)",
+      "expr_tree(5)"};
+  return specs;
+}
+
+const std::vector<std::vector<std::string>>& stacks() {
+  static const std::vector<std::vector<std::string>> all = {
+      {}, {"identity"}, {"strip_redundant_edges"},
+      {"strip_redundant_edges", "identity"}};
+  return all;
+}
+
+TEST(BackendCrossValidation, EveryBackendAndStackSatisfiesSection4Directly) {
+  for (const std::string& spec : corpus()) {
+    const Dfg base = workloads::make_workload(spec);
+    for (const std::vector<std::string>& stack : stacks()) {
+      const Dfg g = TransformPipeline::from_specs(stack).apply(base);
+      for (const std::string& backend : backend_names()) {
+        const BackendResult r = solve(backend, g);
+        ASSERT_TRUE(r.success)
+            << spec << " backend=" << backend << ": " << r.error;
+        EXPECT_EQ(r.cycles, r.schedule.cycle_count());
+        check_section4_invariants(g, r.schedule, r.patterns);
+      }
+    }
+  }
+}
+
+TEST(BackendCrossValidation, RandomDagSweepThroughTheEngine) {
+  engine::Engine eng;
+  for (const std::uint64_t seed : {17u, 43u, 97u}) {
+    const Dfg base = test::random_dag(seed);
+    for (const std::vector<std::string>& stack : stacks()) {
+      const Dfg effective = TransformPipeline::from_specs(stack).apply(base);
+      for (const std::string& backend : backend_names()) {
+        engine::Job job;
+        job.name = "seed" + std::to_string(seed);
+        job.dfg = base;
+        job.transforms = stack;
+        job.backend = backend;
+        const engine::JobResult r = eng.run(job);
+        ASSERT_TRUE(r.success)
+            << "seed " << seed << " backend=" << backend << ": " << r.error;
+        EXPECT_EQ(r.backend, backend);
+        EXPECT_EQ(r.transforms, stack);
+        EXPECT_EQ(r.nodes, effective.node_count());
+        EXPECT_EQ(r.edges, effective.edge_count());
+        ASSERT_EQ(r.node_cycles.size(), effective.node_count());
+        Schedule schedule(effective.node_count());
+        for (NodeId n = 0; n < effective.node_count(); ++n)
+          schedule.place(n, r.node_cycles[n]);
+        PatternSet patterns;
+        for (const std::string& p : r.patterns)
+          patterns.insert(parse_pattern(effective, p));
+        check_section4_invariants(effective, schedule, patterns);
+      }
+    }
+  }
+}
+
+TEST(BackendCrossValidation, UnknownPipelineNamesFailOnlyThatJob) {
+  engine::Engine eng;
+  engine::Job bad = engine::Job::from_workload("small_example");
+  bad.backend = "bogus";
+  engine::Job good = engine::Job::from_workload("small_example");
+  const engine::BatchResult batch = eng.run_batch({bad, good});
+  ASSERT_EQ(batch.jobs.size(), 2u);
+  EXPECT_FALSE(batch.jobs[0].success);
+  EXPECT_TRUE(batch.jobs[0].error.rfind("pipeline: ", 0) == 0)
+      << batch.jobs[0].error;
+  EXPECT_TRUE(batch.jobs[1].success) << batch.jobs[1].error;
+}
+
+// ---------------------------------------------------------------------------
+// multi_pattern == the pre-refactor paper flow
+// ---------------------------------------------------------------------------
+
+TEST(MultiPatternBackend, MatchesTheHandWiredPaperFlow) {
+  for (const std::string& spec : corpus()) {
+    const Dfg g = workloads::make_workload(spec);
+    const BackendResult via_backend = solve("multi_pattern", g);
+    ASSERT_TRUE(via_backend.success) << spec << ": " << via_backend.error;
+
+    const SelectionResult sel = select_patterns(g, SelectOptions{});
+    const MpScheduleResult legacy = multi_pattern_schedule(g, sel.patterns);
+    ASSERT_TRUE(legacy.success) << spec;
+
+    EXPECT_EQ(via_backend.cycles, legacy.cycles) << spec;
+    EXPECT_EQ(via_backend.antichains, sel.antichains_enumerated) << spec;
+    EXPECT_EQ(via_backend.candidate_patterns, sel.candidate_patterns) << spec;
+    ASSERT_EQ(via_backend.patterns.size(), sel.patterns.size()) << spec;
+    for (std::size_t i = 0; i < sel.patterns.size(); ++i)
+      EXPECT_EQ(via_backend.patterns[i], sel.patterns[i]) << spec;
+    for (NodeId n = 0; n < g.node_count(); ++n)
+      EXPECT_EQ(via_backend.schedule.cycle_of(n), legacy.schedule.cycle_of(n))
+          << spec << " node " << n;
+  }
+}
+
+TEST(MultiPatternBackend, DefaultEngineResultKeepsThePreRefactorShape) {
+  engine::Engine eng;
+  const engine::JobResult r = eng.run(engine::Job::from_workload("paper_3dft"));
+  ASSERT_TRUE(r.success) << r.error;
+
+  const Dfg g = workloads::make_workload("paper_3dft");
+  const SelectionResult sel = select_patterns(g, SelectOptions{});
+  const MpScheduleResult legacy = multi_pattern_schedule(g, sel.patterns);
+  EXPECT_EQ(r.cycles, legacy.cycles);
+  for (std::size_t n = 0; n < r.node_cycles.size(); ++n)
+    EXPECT_EQ(r.node_cycles[n], legacy.schedule.cycle_of(static_cast<NodeId>(n)));
+
+  // Serialized default results carry no pipeline keys at all — the results
+  // document is byte-compatible with pre-refactor readers and writers.
+  const Json doc = result_to_json(r);
+  EXPECT_EQ(doc.find("backend"), nullptr);
+  EXPECT_EQ(doc.find("transforms"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// refinement + oracle ordering
+// ---------------------------------------------------------------------------
+
+TEST(Backends, SelfComposingBackendsRejectRefinementCleanly) {
+  const Dfg g = workloads::make_workload("small_example");
+  for (const std::string& name : {std::string("list"), std::string("force_directed"),
+                                  std::string("exhaustive")}) {
+    const BackendResult r = solve(name, g, /*refine=*/true);
+    EXPECT_FALSE(r.success) << name;
+    EXPECT_NE(r.error.find("refinement is not applicable"), std::string::npos)
+        << name << ": " << r.error;
+  }
+  const BackendResult ok = solve("multi_pattern", g, /*refine=*/true);
+  EXPECT_TRUE(ok.success) << ok.error;
+}
+
+TEST(Backends, ExhaustiveOracleIsNeverWorseThanTheHeuristic) {
+  for (const std::string& spec :
+       {std::string("small_example"), std::string("dft3"),
+        std::string("expr_tree(5)")}) {
+    const Dfg g = workloads::make_workload(spec);
+    const BackendResult heuristic = solve("multi_pattern", g);
+    const BackendResult oracle = solve("exhaustive", g);
+    ASSERT_TRUE(heuristic.success) << spec << ": " << heuristic.error;
+    ASSERT_TRUE(oracle.success) << spec << ": " << oracle.error;
+    EXPECT_LE(oracle.cycles, heuristic.cycles) << spec;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// pinned cache-key behavior
+// ---------------------------------------------------------------------------
+
+TEST(PipelineCacheTag, DefaultIsEmptyAndVariantsAreDistinct) {
+  const std::string def(kDefaultBackend);
+  EXPECT_EQ(engine::pipeline_cache_tag({}, def), "");
+  EXPECT_EQ(engine::pipeline_cache_tag({"identity"}, def), "identity|multi_pattern");
+  EXPECT_EQ(engine::pipeline_cache_tag({}, "list"), "|list");
+  EXPECT_EQ(engine::pipeline_cache_tag({"a", "b"}, "list"), "a,b|list");
+}
+
+TEST(PipelineCacheTag, KeysSeparatePipelinesAndDefaultKeepsLegacyBytes) {
+  const Dfg g = workloads::make_workload("paper_3dft");
+  const SelectOptions so;
+  auto key = [&](const std::vector<std::string>& transforms,
+                 const std::string& backend) {
+    return engine::AnalysisCache::analysis_key(
+        g, so.generation, so.capacity, so.span_limit,
+        engine::pipeline_cache_tag(transforms, backend));
+  };
+  const std::string def(kDefaultBackend);
+
+  // Pinned: the default pipeline's key IS the pre-pipeline key (the
+  // argument-less overload), so warm disk caches survive the refactor.
+  const engine::CacheKey legacy = engine::AnalysisCache::analysis_key(
+      g, so.generation, so.capacity, so.span_limit);
+  EXPECT_EQ(key({}, def), legacy);
+
+  // Any transform stack or backend change must move the key.
+  const std::vector<engine::CacheKey> keys = {
+      key({}, def), key({"identity"}, def), key({"strip_redundant_edges"}, def),
+      key({"identity", "strip_redundant_edges"}, def),
+      key({"strip_redundant_edges", "identity"}, def), key({}, "list"),
+      key({}, "exhaustive"), key({"identity"}, "list")};
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    for (std::size_t j = i + 1; j < keys.size(); ++j)
+      EXPECT_NE(keys[i], keys[j]) << "keys " << i << " and " << j << " collide";
+}
+
+}  // namespace
+}  // namespace mpsched

@@ -53,6 +53,10 @@ std::vector<std::string> seed_documents() {
   inline_job.dfg = test::small_random_dag(3);
   inline_job.refine = true;
   jobs.push_back(std::move(inline_job));
+  engine::Job pipelined = engine::Job::from_workload("dft3");
+  pipelined.transforms = {"strip_redundant_edges", "identity"};
+  pipelined.backend = "list";
+  jobs.push_back(std::move(pipelined));
 
   engine::Engine eng;
   const engine::BatchResult batch = eng.run_batch(jobs);
@@ -129,6 +133,52 @@ TEST(JsonFuzz, SeededJunkSplicesSurvive) {
       expect_parse_survives(mutated);
       expect_corpus_reader_survives(mutated);
     }
+}
+
+TEST(JsonFuzz, HostilePipelineSpecsAreRejectedCleanly) {
+  // The corpus reader validates pipeline specs against the transform and
+  // backend registries at parse time: unknown names, wrong types, and
+  // unknown keys must all be clean std::invalid_argument rejections (never
+  // a crash, never a job with an unresolvable pipeline leaking through).
+  const auto corpus_with_job = [](const std::string& job_fields) {
+    return "{\"schema\":\"mpsched.batch.corpus/v1\",\"jobs\":[{"
+           "\"workload\":\"small_example\"" +
+           job_fields + "}]}";
+  };
+  // Unknown names and unknown keys: std::invalid_argument, by contract.
+  for (const std::string& fields : {
+           std::string(",\"transforms\":[\"bogus\"]"),
+           std::string(",\"transforms\":[\"identity\",\"bogus\"]"),
+           std::string(",\"transforms\":[\"Identity\"]"),  // case-sensitive
+           std::string(",\"backend\":\"bogus\""),
+           std::string(",\"backend\":\"\""),
+           std::string(",\"pipeline\":\"strip\""),         // unknown key
+       }) {
+    const std::string doc = corpus_with_job(fields);
+    EXPECT_THROW((void)corpus_from_json(Json::parse(doc)), std::invalid_argument)
+        << doc;
+  }
+  // Type confusion: still a clean std::exception, never a crash.
+  for (const std::string& fields : {
+           std::string(",\"transforms\":\"identity\""),  // not an array
+           std::string(",\"transforms\":[42]"),          // not strings
+           std::string(",\"transforms\":[null]"),
+           std::string(",\"backend\":17"),               // not a string
+           std::string(",\"backend\":[\"list\"]"),
+       }) {
+    const std::string doc = corpus_with_job(fields);
+    EXPECT_THROW((void)corpus_from_json(Json::parse(doc)), std::exception) << doc;
+  }
+
+  // The happy path next to the hostile ones: every registered name parses.
+  const std::string ok = corpus_with_job(
+      ",\"transforms\":[\"strip_redundant_edges\",\"identity\"],"
+      "\"backend\":\"exhaustive\"");
+  const std::vector<engine::Job> parsed = corpus_from_json(Json::parse(ok));
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(parsed[0].transforms,
+            (std::vector<std::string>{"strip_redundant_edges", "identity"}));
+  EXPECT_EQ(parsed[0].backend, "exhaustive");
 }
 
 TEST(JsonFuzz, DeepNestingIsBoundedNotFatal) {

@@ -7,8 +7,11 @@
 #include <cstdlib>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "engine/engine.hpp"
+#include "graph/transform.hpp"
+#include "sched/backend.hpp"
 #include "util/strings.hpp"
 
 namespace mpsched::cli {
@@ -37,6 +40,28 @@ inline std::size_t size_flag(const std::string& flag, const std::string& value,
   } catch (const std::exception& e) {
     throw std::invalid_argument(flag + ": " + e.what());
   }
+}
+
+/// Parses a --transforms value: a comma-separated stack of registered
+/// transform names; "none" (or an empty value) clears the stack. Every
+/// name is validated against the registry (throws std::invalid_argument
+/// naming the offending pass), shared by mpsched_batch and mpsched_client.
+inline std::vector<std::string> transforms_flag(const std::string& value) {
+  std::vector<std::string> names;
+  if (trim(value).empty() || trim(value) == "none") return names;
+  for (const std::string& tok : split(value, ',')) {
+    std::string name{trim(tok)};
+    get_transform(name);  // throws on unknown names
+    names.push_back(std::move(name));
+  }
+  return names;
+}
+
+/// Validates a --backend value against the registry (throws
+/// std::invalid_argument listing the known backends).
+inline std::string backend_flag(const std::string& value) {
+  get_backend(value);
+  return value;
 }
 
 inline engine::ShardPolicy shard_policy_from(const std::string& s) {

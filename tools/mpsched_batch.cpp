@@ -9,9 +9,12 @@
 //   mpsched_batch --corpus FILE --out FILE [--threads N] [--no-cache]
 //                 [--cache-dir DIR] [--cache-stats] [--require-full-cache]
 //                 [--shard-policy uniform|adaptive|measured] [--diagnostics]
-//                 [--compact]
+//                 [--compact] [--transforms LIST] [--backend NAME]
 //   mpsched_batch --demo FILE        write the built-in 8-job demo corpus
 //   mpsched_batch --list             list accepted workload specs
+//   mpsched_batch --list-workloads   workload specs + corpus groups
+//   mpsched_batch --list-backends    registered scheduler backends
+//   mpsched_batch --list-transforms  registered graph transforms
 //   mpsched_batch --selftest         in-memory corpus round-trip +
 //                                    determinism check (used by ctest)
 //   mpsched_batch --cache-dir DIR --cache-trim [--trim-age SECONDS]
@@ -19,6 +22,10 @@
 //                                    cache maintenance: sweep orphaned
 //                                    temp files, drop entries by age,
 //                                    evict oldest-first to a size cap
+//
+// --transforms/--backend override the pipeline of every job in the corpus
+// for the run ("run this corpus under that configuration"); per-job specs
+// live in the corpus JSON itself.
 //
 // --cache-dir persists analyses across runs: a second run on the same
 // directory recomputes nothing and emits a byte-identical results file.
@@ -51,9 +58,9 @@ int usage(const char* argv0) {
       "  %s --corpus FILE --out FILE [--threads N] [--no-cache]\n"
       "     [--cache-dir DIR] [--cache-stats] [--require-full-cache]\n"
       "     [--shard-policy uniform|adaptive|measured] [--diagnostics] [--compact]\n"
-      "     [--trace-out FILE]\n"
+      "     [--trace-out FILE] [--transforms t1,t2|none] [--backend NAME]\n"
       "  %s --demo FILE\n"
-      "  %s --list\n"
+      "  %s --list | --list-workloads | --list-backends | --list-transforms\n"
       "  %s --selftest\n"
       "  %s --cache-dir DIR --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n",
       argv0, argv0, argv0, argv0, argv0);
@@ -152,12 +159,14 @@ int selftest() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string corpus_path, out_path, demo_path, cache_dir, trace_out;
+  std::string corpus_path, out_path, demo_path, cache_dir, trace_out, backend;
+  std::vector<std::string> transforms;
   std::size_t threads = 0, trim_age = 0, trim_max_bytes = 0;
   engine::ShardPolicy shard_policy = engine::ShardPolicy::Adaptive;
   bool no_cache = false, diagnostics = false, compact = false, list = false,
        run_selftest = false, cache_stats = false, require_full_cache = false,
-       cache_trim = false;
+       cache_trim = false, have_transforms = false, list_workloads = false,
+       list_backends = false, list_transforms = false;
 
   try {
     for (int i = 1; i < argc; ++i) {
@@ -180,7 +189,15 @@ int main(int argc, char** argv) {
       else if (arg == "--diagnostics") diagnostics = true;
       else if (arg == "--compact") compact = true;
       else if (arg == "--trace-out") trace_out = value();
+      else if (arg == "--transforms") {
+        transforms = cli::transforms_flag(value());
+        have_transforms = true;
+      }
+      else if (arg == "--backend") backend = cli::backend_flag(value());
       else if (arg == "--list") list = true;
+      else if (arg == "--list-workloads") list_workloads = true;
+      else if (arg == "--list-backends") list_backends = true;
+      else if (arg == "--list-transforms") list_transforms = true;
       else if (arg == "--selftest") run_selftest = true;
       else if (arg == "--help" || arg == "-h") return usage(argv[0]);
       else {
@@ -195,6 +212,33 @@ int main(int argc, char** argv) {
       std::printf("workload specs:\n");
       for (const std::string& u : workloads::workload_usage())
         std::printf("  %s\n", u.c_str());
+      return 0;
+    }
+
+    if (list_workloads) {
+      std::printf("workload specs:\n");
+      for (const std::string& u : workloads::workload_usage())
+        std::printf("  %s\n", u.c_str());
+      std::printf("corpus groups:\n");
+      for (const workloads::CorpusGroup& g : workloads::corpus_groups())
+        std::printf("  %-8s %s: %s\n", g.name.c_str(), g.description.c_str(),
+                    join(g.specs, ", ").c_str());
+      return 0;
+    }
+    if (list_backends) {
+      std::printf("scheduler backends:\n");
+      for (const std::string& name : backend_names()) {
+        const SchedulerBackend& b = get_backend(name);
+        std::printf("  %-16s %s%s\n", name.c_str(), b.description().c_str(),
+                    name == kDefaultBackend ? " (default)" : "");
+      }
+      return 0;
+    }
+    if (list_transforms) {
+      std::printf("graph transforms:\n");
+      for (const std::string& name : transform_names())
+        std::printf("  %-24s %s\n", name.c_str(),
+                    get_transform(name).description().c_str());
       return 0;
     }
 
@@ -255,7 +299,13 @@ int main(int argc, char** argv) {
     // cache-tier access) and flushes once after the results are written.
     if (!trace_out.empty()) obs::set_tracing_enabled(true);
 
-    const std::vector<engine::Job> jobs = load_corpus(corpus_path);
+    std::vector<engine::Job> jobs = load_corpus(corpus_path);
+    // Flag overrides apply to every job: "run this corpus under that
+    // pipeline". Per-job pipelines belong in the corpus JSON.
+    for (engine::Job& job : jobs) {
+      if (!backend.empty()) job.backend = backend;
+      if (have_transforms) job.transforms = transforms;
+    }
     engine::EngineOptions options;
     options.threads = threads;
     options.use_cache = !no_cache;

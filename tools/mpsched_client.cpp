@@ -3,6 +3,7 @@
 // Usage:
 //   mpsched_client --socket PATH --corpus FILE [--out FILE] [--diagnostics]
 //                  [--compact] [--require-full-cache]
+//                  [--transforms t1,t2|none] [--backend NAME]
 //                  [--async [--pipeline N]]
 //   mpsched_client --socket PATH --ping
 //   mpsched_client --socket PATH --stats [--json]
@@ -35,6 +36,7 @@
 #include <vector>
 
 #include "cli_common.hpp"
+#include "io/result_io.hpp"
 #include "service/client.hpp"
 
 using namespace mpsched;
@@ -46,7 +48,8 @@ int usage(const char* argv0) {
   std::printf(
       "usage:\n"
       "  %s --socket PATH --corpus FILE [--out FILE] [--diagnostics] [--compact]\n"
-      "     [--require-full-cache] [--async [--pipeline N]]\n"
+      "     [--require-full-cache] [--transforms t1,t2|none] [--backend NAME]\n"
+      "     [--async [--pipeline N]]\n"
       "  %s --socket PATH --ping | --stats [--json] | --metrics [--json]\n"
       "  %s --socket PATH --cache-trim [--trim-age SECONDS] [--trim-max-bytes BYTES]\n"
       "  %s --socket PATH --shutdown [--wait-exit-ms MS]\n",
@@ -89,10 +92,11 @@ int finish_submit(const Json& results, std::int64_t computed, std::int64_t reuse
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string socket_path, corpus_path, out_path;
+  std::string socket_path, corpus_path, out_path, backend;
+  std::vector<std::string> transforms;
   bool ping = false, stats = false, metrics = false, cache_trim = false, shutdown = false;
   bool diagnostics = false, compact = false, require_full_cache = false;
-  bool async = false, stats_json = false;
+  bool async = false, stats_json = false, have_transforms = false;
   std::size_t pipeline = 1;
   std::size_t trim_age = 0, trim_max_bytes = 0, wait_exit_ms = 10000;
 
@@ -106,6 +110,11 @@ int main(int argc, char** argv) {
       else if (arg == "--diagnostics") diagnostics = true;
       else if (arg == "--compact") compact = true;
       else if (arg == "--require-full-cache") require_full_cache = true;
+      else if (arg == "--transforms") {
+        transforms = cli::transforms_flag(value());
+        have_transforms = true;
+      }
+      else if (arg == "--backend") backend = cli::backend_flag(value());
       else if (arg == "--async") async = true;
       else if (arg == "--pipeline") pipeline = size_flag(arg, value(), 1024);
       else if (arg == "--ping") ping = true;
@@ -224,12 +233,27 @@ int main(int argc, char** argv) {
       return 0;
     }
 
+    // Without pipeline overrides the corpus document travels verbatim (the
+    // server parses and validates). With --transforms/--backend it is
+    // parsed locally, every job's pipeline rewritten, and re-serialized —
+    // so the server still sees an ordinary corpus document.
+    auto load_corpus_doc = [&] {
+      Json doc = load_json(corpus_path);
+      if (backend.empty() && !have_transforms) return doc;
+      std::vector<engine::Job> jobs = corpus_from_json(doc);
+      for (engine::Job& job : jobs) {
+        if (!backend.empty()) job.backend = backend;
+        if (have_transforms) job.transforms = transforms;
+      }
+      return corpus_to_json(jobs);
+    };
+
     if (async) {
       // Pipelined v2 flow: every request goes out before anything is
       // collected, so the daemon holds `pipeline` requests of this one
       // session in flight (and may coalesce their jobs into shared
       // dispatches — with any other session's).
-      const Json corpus_doc = load_json(corpus_path);
+      const Json corpus_doc = load_corpus_doc();
       std::vector<std::uint64_t> requests;
       for (std::size_t p = 0; p < pipeline; ++p) {
         Json request_doc = Json::object();
@@ -284,12 +308,12 @@ int main(int argc, char** argv) {
                            require_full_cache);
     }
 
-    // Blocking submit: the corpus document travels verbatim — the server
-    // parses and validates; this side only wraps it in the request envelope.
+    // Blocking submit: the corpus document (possibly rewritten by the
+    // pipeline overrides above) wrapped in the request envelope.
     Json request_doc = Json::object();
     request_doc.set("op", "submit");
     request_doc.set("id", 1);
-    request_doc.set("corpus", load_json(corpus_path));
+    request_doc.set("corpus", load_corpus_doc());
     if (diagnostics) request_doc.set("diagnostics", true);
     const service::Response response =
         service::response_from_json(client.call_raw(request_doc));
